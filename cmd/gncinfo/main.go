@@ -1,0 +1,102 @@
+// Command gncinfo inspects GNC container files (the self-describing
+// format written by the climate pipeline) in the spirit of ncdump:
+// dimensions, variables with attributes, global attributes, and optional
+// per-variable statistics.
+//
+//	gncinfo file.gnc            # schema only
+//	gncinfo -stats file.gnc     # plus min/mean/max per variable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"goparsvd/internal/ncio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gncinfo: ")
+	stats := flag.Bool("stats", false, "compute per-variable min/mean/max")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: gncinfo [-stats] <file.gnc>")
+	}
+	path := flag.Arg(0)
+
+	f, err := ncio.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	fmt.Printf("gnc %s {\n", path)
+	fmt.Println("dimensions:")
+	for _, d := range f.Dims() {
+		fmt.Printf("\t%s = %d ;\n", d.Name, d.Size)
+	}
+	fmt.Println("variables:")
+	for _, name := range f.Vars() {
+		v, _ := f.Var(name)
+		fmt.Printf("\t%s %s(%s) ;\n", v.DType, name, joinDims(v.Dims))
+		for _, k := range sortedKeys(v.Attrs) {
+			fmt.Printf("\t\t%s:%s = %q ;\n", name, k, v.Attrs[k])
+		}
+		if *stats {
+			data, err := f.ReadVar(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lo, hi, mean := summarize(data)
+			fmt.Printf("\t\t// %d values, min %.6g, mean %.6g, max %.6g\n",
+				len(data), lo, mean, hi)
+		}
+	}
+	fmt.Println("// global attributes:")
+	attrs := f.GlobalAttrs()
+	for _, k := range sortedKeys(attrs) {
+		fmt.Printf("\t\t:%s = %q ;\n", k, attrs[k])
+	}
+	fmt.Println("}")
+}
+
+func joinDims(dims []string) string {
+	out := ""
+	for i, d := range dims {
+		if i > 0 {
+			out += ", "
+		}
+		out += d
+	}
+	return out
+}
+
+func summarize(data []float64) (lo, hi, mean float64) {
+	if len(data) == 0 {
+		return 0, 0, 0
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	sum := 0.0
+	for _, v := range data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		sum += v
+	}
+	return lo, hi, sum / float64(len(data))
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,114 @@
+// Command parsvd-scaling reproduces Figure 1(c) of the PyParSVD paper: the
+// weak scaling of the parallelized + randomized SVD (no streaming), with a
+// fixed 1024 grid points per rank.
+//
+// Because this reproduction substitutes in-process goroutine ranks for MPI
+// ranks on Theta, the command prints two series:
+//
+//   - a measured series (goroutine ranks on this machine; honest wall
+//     clock, but ranks beyond the local core count time-share the CPU);
+//   - a modeled series from a Theta-calibrated analytic cost model,
+//     evaluated to 16384 ranks (256 KNL nodes × 64 ranks), which is the
+//     series whose *shape* should be compared with the figure.
+//
+// Outputs: a CSV per series in -outdir, tables on stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"goparsvd/internal/scaling"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("parsvd-scaling: ")
+
+	var (
+		rowsPerRank = flag.Int("rows-per-rank", 1024, "grid points per rank (paper: 1024)")
+		snapshots   = flag.Int("snapshots", 128, "snapshot count for the measured series")
+		k           = flag.Int("k", 10, "modes for the randomized SVD")
+		r1          = flag.Int("r1", 32, "APMOS gather truncation for the measured series")
+		ranksFlag   = flag.String("ranks", "1,2,4,8,16", "comma-separated measured rank counts")
+		trials      = flag.Int("trials", 3, "trials per point (minimum kept)")
+		modelMax    = flag.Int("model-max", 16384, "largest rank count for the modeled series")
+		outdir      = flag.String("outdir", "out/scaling", "output directory")
+	)
+	flag.Parse()
+
+	ranks, err := parseRanks(*ranksFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := scaling.MeasuredConfig{
+		RowsPerRank: *rowsPerRank,
+		Snapshots:   *snapshots,
+		K:           *k,
+		R1:          *r1,
+		Ranks:       ranks,
+		Trials:      *trials,
+	}
+	log.Printf("measured series: %d rows/rank, %d snapshots, ranks %v", *rowsPerRank, *snapshots, ranks)
+	measured := scaling.RunMeasured(cfg)
+	fmt.Println()
+	fmt.Print(scaling.FormatSeries("measured weak scaling (goroutine ranks, this machine)", measured))
+
+	model := scaling.DefaultThetaModel()
+	model.RowsPerRank = *rowsPerRank
+	model.K = *k
+	modeled := model.Series(scaling.PowersOfTwo(*modelMax))
+	fmt.Println()
+	fmt.Print(scaling.FormatSeries(
+		fmt.Sprintf("modeled weak scaling (Theta-like constants, N=%d, r1=%d)", model.Snapshots, model.R1),
+		modeled))
+
+	if err := writeCSV(filepath.Join(*outdir, "fig1c_measured.csv"), measured); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeCSV(filepath.Join(*outdir, "fig1c_model.csv"), modeled); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nartifacts written to %s\n", *outdir)
+}
+
+func parseRanks(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("invalid rank count %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rank counts in %q", s)
+	}
+	return out, nil
+}
+
+func writeCSV(path string, points []scaling.Point) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "ranks,seconds,efficiency,comm_bytes")
+	for _, p := range points {
+		fmt.Fprintf(f, "%d,%.6e,%.6f,%d\n", p.Ranks, p.Seconds, p.Efficiency, p.CommBytes)
+	}
+	return nil
+}

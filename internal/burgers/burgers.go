@@ -1,0 +1,177 @@
+// Package burgers generates snapshot data for the viscous Burgers equation
+// test case of the paper (§4.3, Eq. 12–13): the analytical solution
+//
+//	u(x,t) = (x/(t+1)) / (1 + sqrt((t+1)/t₀)·exp(Re·x²/(4t+4))),  t₀ = e^{Re/8}
+//
+// on x ∈ [0, L] with u(0,t) = u(L,t) = 0, sampled on a uniform grid to build
+// the M×N data matrix (M grid points × N snapshots) whose SVD modes Figures
+// 1(a) and 1(b) validate. The paper's configuration is Re = 1000, L = 1,
+// t ∈ [0, 2], M = 16384, N = 800.
+package burgers
+
+import (
+	"fmt"
+	"math"
+
+	"goparsvd/internal/mat"
+)
+
+// Config describes a Burgers snapshot ensemble.
+type Config struct {
+	// L is the domain length (paper: 1).
+	L float64
+	// Re is the Reynolds number 1/ν (paper: 1000).
+	Re float64
+	// Nx is the number of grid points (paper: 16384).
+	Nx int
+	// Nt is the number of snapshots (paper: 800).
+	Nt int
+	// TFinal is the final time (paper: 2).
+	TFinal float64
+}
+
+// DefaultConfig returns the paper's experimental configuration.
+func DefaultConfig() Config {
+	return Config{L: 1, Re: 1000, Nx: 16384, Nt: 800, TFinal: 2}
+}
+
+func (c Config) validate() {
+	if c.L <= 0 || c.Re <= 0 || c.Nx < 2 || c.Nt < 1 || c.TFinal <= 0 {
+		panic(fmt.Sprintf("burgers: invalid config %+v", c))
+	}
+}
+
+// Solution evaluates the closed-form solution u(x, t) for the given
+// Reynolds number (paper Eq. 13). It is finite and well-behaved for all
+// x ≥ 0, t ≥ 0 because the exponential is evaluated in log space.
+func Solution(x, t, re float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	// t0 = exp(Re/8) overflows float64 for Re = 1000, so work with
+	// log(sqrt((t+1)/t0) · exp(Re·x²/(4t+4)))
+	//   = 0.5·log(t+1) − Re/16 + Re·x²/(4t+4)... with log(t0) = Re/8:
+	//   = 0.5·(log(t+1) − Re/8) + Re·x²/(4t+4).
+	logTerm := 0.5*(math.Log(t+1)-re/8) + re*x*x/(4*t+4)
+	// u = (x/(t+1)) / (1 + e^{logTerm}).
+	if logTerm > 700 { // e^{logTerm} overflows; u underflows to 0
+		return 0
+	}
+	return (x / (t + 1)) / (1 + math.Exp(logTerm))
+}
+
+// Grid returns the Nx uniformly spaced points on [0, L].
+func (c Config) Grid() []float64 {
+	c.validate()
+	x := make([]float64, c.Nx)
+	dx := c.L / float64(c.Nx-1)
+	for i := range x {
+		x[i] = float64(i) * dx
+	}
+	return x
+}
+
+// Times returns the Nt snapshot times, uniformly spaced on [0, TFinal].
+func (c Config) Times() []float64 {
+	c.validate()
+	t := make([]float64, c.Nt)
+	if c.Nt == 1 {
+		return t
+	}
+	dt := c.TFinal / float64(c.Nt-1)
+	for j := range t {
+		t[j] = float64(j) * dt
+	}
+	return t
+}
+
+// Snapshots builds the full Nx×Nt data matrix: column j is the solution at
+// time t_j sampled over the grid.
+func (c Config) Snapshots() *mat.Dense {
+	return c.SnapshotsRows(0, c.Nx)
+}
+
+// SnapshotsRows builds the row block [r0, r1) of the snapshot matrix — the
+// portion of the domain owned by one rank in a distributed run. Columns
+// still span all Nt snapshots.
+func (c Config) SnapshotsRows(r0, r1 int) *mat.Dense {
+	c.validate()
+	if r0 < 0 || r1 > c.Nx || r0 > r1 {
+		panic(fmt.Sprintf("burgers: row range [%d,%d) out of [0,%d)", r0, r1, c.Nx))
+	}
+	dx := c.L / float64(c.Nx-1)
+	times := c.Times()
+	out := mat.New(r1-r0, c.Nt)
+	for i := r0; i < r1; i++ {
+		x := float64(i) * dx
+		row := out.RowView(i - r0)
+		for j, t := range times {
+			row[j] = Solution(x, t, c.Re)
+		}
+	}
+	return out
+}
+
+// SnapshotsCols builds the full-height column block [c0, c1) of the
+// snapshot matrix — one streaming batch of snapshots.
+func (c Config) SnapshotsCols(c0, c1 int) *mat.Dense {
+	c.validate()
+	if c0 < 0 || c1 > c.Nt || c0 > c1 {
+		panic(fmt.Sprintf("burgers: column range [%d,%d) out of [0,%d)", c0, c1, c.Nt))
+	}
+	dx := c.L / float64(c.Nx-1)
+	times := c.Times()
+	out := mat.New(c.Nx, c1-c0)
+	for i := 0; i < c.Nx; i++ {
+		x := float64(i) * dx
+		row := out.RowView(i)
+		for j := c0; j < c1; j++ {
+			row[j-c0] = Solution(x, times[j], c.Re)
+		}
+	}
+	return out
+}
+
+// Block builds the row block [r0, r1) restricted to snapshot columns
+// [c0, c1): one rank's share of one streaming batch.
+func (c Config) Block(r0, r1, c0, c1 int) *mat.Dense {
+	c.validate()
+	if r0 < 0 || r1 > c.Nx || r0 > r1 {
+		panic(fmt.Sprintf("burgers: row range [%d,%d) out of [0,%d)", r0, r1, c.Nx))
+	}
+	if c0 < 0 || c1 > c.Nt || c0 > c1 {
+		panic(fmt.Sprintf("burgers: column range [%d,%d) out of [0,%d)", c0, c1, c.Nt))
+	}
+	dx := c.L / float64(c.Nx-1)
+	times := c.Times()
+	out := mat.New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		x := float64(i) * dx
+		row := out.RowView(i - r0)
+		for j := c0; j < c1; j++ {
+			row[j-c0] = Solution(x, times[j], c.Re)
+		}
+	}
+	return out
+}
+
+// Partition splits the Nx grid points into p contiguous near-equal row
+// ranges and returns the (start, end) pairs.
+func (c Config) Partition(p int) [][2]int {
+	c.validate()
+	if p < 1 {
+		panic(fmt.Sprintf("burgers: partition into %d ranks", p))
+	}
+	out := make([][2]int, p)
+	base, rem := c.Nx/p, c.Nx%p
+	off := 0
+	for r := 0; r < p; r++ {
+		rows := base
+		if r < rem {
+			rows++
+		}
+		out[r] = [2]int{off, off + rows}
+		off += rows
+	}
+	return out
+}

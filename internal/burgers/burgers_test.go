@@ -1,0 +1,186 @@
+package burgers
+
+import (
+	"math"
+	"testing"
+
+	"goparsvd/internal/linalg"
+	"goparsvd/internal/mat"
+)
+
+func testConfig() Config {
+	return Config{L: 1, Re: 1000, Nx: 256, Nt: 40, TFinal: 2}
+}
+
+func TestSolutionBoundaryConditions(t *testing.T) {
+	for _, tt := range []float64{0, 0.5, 1, 2} {
+		if u := Solution(0, tt, 1000); u != 0 {
+			t.Fatalf("u(0,%g) = %g, want 0", tt, u)
+		}
+		// At x = L the huge exponential drives u to ~0 (the analytic value
+		// at t = 2 is ≈ 1.7e-10, so the BC is satisfied approximately).
+		if u := Solution(1, tt, 1000); math.Abs(u) > 1e-8 {
+			t.Fatalf("u(1,%g) = %g, want ~0", tt, u)
+		}
+	}
+}
+
+func TestSolutionFiniteEverywhere(t *testing.T) {
+	for _, x := range []float64{0, 1e-6, 0.1, 0.25, 0.5, 0.9, 0.999, 1} {
+		for _, tt := range []float64{0, 1e-6, 0.3, 1, 2} {
+			u := Solution(x, tt, 1000)
+			if math.IsNaN(u) || math.IsInf(u, 0) {
+				t.Fatalf("u(%g,%g) = %g", x, tt, u)
+			}
+			if u < 0 {
+				t.Fatalf("u(%g,%g) = %g < 0; solution should be non-negative", x, tt, u)
+			}
+		}
+	}
+}
+
+func TestSolutionNontrivial(t *testing.T) {
+	// The wave has O(0.1) amplitude somewhere in the interior.
+	found := false
+	for _, x := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		if Solution(x, 1, 1000) > 0.05 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("solution appears identically ~0; check the closed form")
+	}
+}
+
+func TestSolutionSatisfiesPDE(t *testing.T) {
+	// Finite-difference check of u_t + u·u_x = ν·u_xx at interior points.
+	const re = 100.0 // moderate Re keeps finite differences well-conditioned
+	nu := 1.0 / re
+	h, dt := 1e-5, 1e-5
+	for _, x := range []float64{0.2, 0.4, 0.6} {
+		for _, tt := range []float64{0.5, 1.0} {
+			ut := (Solution(x, tt+dt, re) - Solution(x, tt-dt, re)) / (2 * dt)
+			ux := (Solution(x+h, tt, re) - Solution(x-h, tt, re)) / (2 * h)
+			uxx := (Solution(x+h, tt, re) - 2*Solution(x, tt, re) + Solution(x-h, tt, re)) / (h * h)
+			u := Solution(x, tt, re)
+			resid := ut + u*ux - nu*uxx
+			scale := math.Abs(ut) + math.Abs(u*ux) + math.Abs(nu*uxx) + 1e-12
+			if math.Abs(resid)/scale > 1e-3 {
+				t.Fatalf("PDE residual at (x=%g,t=%g): %g (relative %g)",
+					x, tt, resid, math.Abs(resid)/scale)
+			}
+		}
+	}
+}
+
+func TestGridAndTimes(t *testing.T) {
+	cfg := testConfig()
+	x := cfg.Grid()
+	if len(x) != cfg.Nx || x[0] != 0 || math.Abs(x[len(x)-1]-cfg.L) > 1e-14 {
+		t.Fatalf("grid endpoints: %g..%g", x[0], x[len(x)-1])
+	}
+	tm := cfg.Times()
+	if len(tm) != cfg.Nt || tm[0] != 0 || math.Abs(tm[len(tm)-1]-cfg.TFinal) > 1e-14 {
+		t.Fatalf("times endpoints: %g..%g", tm[0], tm[len(tm)-1])
+	}
+}
+
+func TestSnapshotsShapeAndContent(t *testing.T) {
+	cfg := testConfig()
+	a := cfg.Snapshots()
+	if a.Rows() != cfg.Nx || a.Cols() != cfg.Nt {
+		t.Fatalf("shape %dx%d", a.Rows(), a.Cols())
+	}
+	x := cfg.Grid()
+	tm := cfg.Times()
+	for _, probe := range [][2]int{{10, 3}, {100, 20}, {200, 39}} {
+		i, j := probe[0], probe[1]
+		want := Solution(x[i], tm[j], cfg.Re)
+		if a.At(i, j) != want {
+			t.Fatalf("snapshot[%d,%d] = %g, want %g", i, j, a.At(i, j), want)
+		}
+	}
+}
+
+func TestRowAndColumnBlocksConsistent(t *testing.T) {
+	cfg := testConfig()
+	full := cfg.Snapshots()
+	rows := cfg.SnapshotsRows(50, 120)
+	if !mat.EqualApprox(rows, full.Slice(50, 120, 0, cfg.Nt), 0) {
+		t.Fatal("SnapshotsRows disagrees with full matrix")
+	}
+	cols := cfg.SnapshotsCols(5, 25)
+	if !mat.EqualApprox(cols, full.Slice(0, cfg.Nx, 5, 25), 0) {
+		t.Fatal("SnapshotsCols disagrees with full matrix")
+	}
+	blk := cfg.Block(30, 90, 10, 30)
+	if !mat.EqualApprox(blk, full.Slice(30, 90, 10, 30), 0) {
+		t.Fatal("Block disagrees with full matrix")
+	}
+}
+
+func TestPartitionCoversGrid(t *testing.T) {
+	cfg := testConfig()
+	for _, p := range []int{1, 3, 4, 7} {
+		parts := cfg.Partition(p)
+		if parts[0][0] != 0 || parts[len(parts)-1][1] != cfg.Nx {
+			t.Fatalf("p=%d: partition does not cover grid: %v", p, parts)
+		}
+		for i := 1; i < len(parts); i++ {
+			if parts[i][0] != parts[i-1][1] {
+				t.Fatalf("p=%d: gap between parts %d and %d", p, i-1, i)
+			}
+		}
+		// Near-equal: sizes differ by at most 1.
+		minSz, maxSz := cfg.Nx, 0
+		for _, pr := range parts {
+			sz := pr[1] - pr[0]
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		if maxSz-minSz > 1 {
+			t.Fatalf("p=%d: unbalanced partition %v", p, parts)
+		}
+	}
+}
+
+func TestSpectrumDecaysRapidly(t *testing.T) {
+	// The travelling-front solution is low-rank to good accuracy: the
+	// paper's whole premise. Check σ₁₀/σ₁ is small.
+	cfg := testConfig()
+	a := cfg.Snapshots()
+	_, s, _ := linalg.SVD(a)
+	if s[9]/s[0] > 0.05 {
+		t.Fatalf("spectrum decays too slowly: σ10/σ1 = %g", s[9]/s[0])
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"Nx":     {L: 1, Re: 1000, Nx: 1, Nt: 10, TFinal: 1},
+		"Nt":     {L: 1, Re: 1000, Nx: 10, Nt: 0, TFinal: 1},
+		"L":      {L: 0, Re: 1000, Nx: 10, Nt: 10, TFinal: 1},
+		"Re":     {L: 1, Re: 0, Nx: 10, Nt: 10, TFinal: 1},
+		"TFinal": {L: 1, Re: 1000, Nx: 10, Nt: 10, TFinal: 0},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("invalid %s did not panic", name)
+				}
+			}()
+			cfg.Snapshots()
+		})
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Nx != 16384 || cfg.Nt != 800 || cfg.Re != 1000 || cfg.L != 1 || cfg.TFinal != 2 {
+		t.Fatalf("default config %+v does not match the paper", cfg)
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"goparsvd/internal/apmos"
+	"goparsvd/internal/mat"
+	"goparsvd/internal/mpi"
+	"goparsvd/internal/rla"
+	"goparsvd/internal/stream"
+)
+
+// Checkpoint/restart for the streaming engines. Long-running in-situ
+// analyses (the paper's target deployment: SVD updates riding along a
+// simulation) must survive restarts of the host application, so both
+// engines can serialize their complete state — options, modes, singular
+// values, counters — to an io.Writer and be reconstructed from an
+// io.Reader. The format is a little-endian binary stream with a magic
+// header and version byte; Parallel checkpoints are per-rank (each rank
+// saves and reloads its own row slice, matching how restart works in
+// MPI codes).
+
+var checkpointMagic = [4]byte{'G', 'P', 'S', 'V'}
+
+const checkpointVersion = 1
+
+// ErrBadCheckpoint is returned when restoring from data that is not a
+// goparsvd checkpoint or is structurally damaged.
+var ErrBadCheckpoint = errors.New("core: not a valid goparsvd checkpoint")
+
+// Save serializes the serial engine's full state. The engine must be
+// initialized.
+func (s *Serial) Save(w io.Writer) error {
+	s.svd.Modes() // panics with a clear message if not initialized
+	return writeCheckpoint(w, s.opts, s.svd.Modes(), s.svd.SingularValues(),
+		s.svd.Iterations(), s.svd.SnapshotsSeen())
+}
+
+// LoadSerial reconstructs a serial engine from a checkpoint.
+func LoadSerial(r io.Reader) (*Serial, error) {
+	opts, modes, singular, iters, snaps, err := readCheckpoint(r)
+	if err != nil {
+		return nil, err
+	}
+	eng := NewSerial(opts)
+	eng.svd = stream.Restore(stream.Options{
+		K:       opts.K,
+		FF:      opts.ForgetFactor,
+		LowRank: opts.LowRank,
+		RLA:     opts.RLA,
+	}, modes, singular, iters, snaps)
+	return eng, nil
+}
+
+// Save serializes this rank's slice of the parallel engine's state. Every
+// rank must save (and later reload) its own checkpoint.
+func (p *Parallel) Save(w io.Writer) error {
+	p.mustBeInitialized()
+	return writeCheckpoint(w, p.opts, p.ulocal, p.singular, p.iteration, p.snapshots)
+}
+
+// LoadParallel reconstructs one rank of a parallel engine from that rank's
+// checkpoint, rebinding it to a (new) communicator.
+func LoadParallel(c *mpi.Comm, r io.Reader) (*Parallel, error) {
+	if c == nil {
+		return nil, errors.New("core: LoadParallel needs a communicator")
+	}
+	opts, modes, singular, iters, snaps, err := readCheckpoint(r)
+	if err != nil {
+		return nil, err
+	}
+	eng := NewParallel(c, opts)
+	eng.ulocal = modes
+	eng.singular = singular
+	eng.rows = modes.Rows()
+	eng.iteration = iters
+	eng.snapshots = snaps
+	return eng, nil
+}
+
+// writeCheckpoint emits the binary layout:
+//
+//	magic[4] version[1]
+//	K, iterations, snapshots            int64
+//	forgetFactor                        float64
+//	lowRank                             uint8
+//	rla: oversample, powerIters, seed   int64
+//	r1, method                          int64
+//	rows, cols                          int64
+//	singular values                     cols × float64
+//	modes, row-major                    rows·cols × float64
+func writeCheckpoint(w io.Writer, opts Options, modes *mat.Dense,
+	singular []float64, iterations, snapshots int) error {
+	if _, err := w.Write(checkpointMagic[:]); err != nil {
+		return fmt.Errorf("core: checkpoint write: %w", err)
+	}
+	if _, err := w.Write([]byte{checkpointVersion}); err != nil {
+		return fmt.Errorf("core: checkpoint write: %w", err)
+	}
+	rows, cols := modes.Dims()
+	if cols != len(singular) {
+		return fmt.Errorf("core: checkpoint state inconsistent: %d modes, %d values",
+			cols, len(singular))
+	}
+	lowRank := uint8(0)
+	if opts.LowRank {
+		lowRank = 1
+	}
+	ints := []int64{
+		int64(opts.K), int64(iterations), int64(snapshots),
+	}
+	for _, v := range ints {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("core: checkpoint write: %w", err)
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, opts.ForgetFactor); err != nil {
+		return fmt.Errorf("core: checkpoint write: %w", err)
+	}
+	if _, err := w.Write([]byte{lowRank}); err != nil {
+		return fmt.Errorf("core: checkpoint write: %w", err)
+	}
+	meta := []int64{
+		int64(opts.RLA.Oversample), int64(opts.RLA.PowerIters), opts.RLA.Seed,
+		int64(opts.R1), int64(opts.Method),
+		int64(rows), int64(cols),
+	}
+	for _, v := range meta {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("core: checkpoint write: %w", err)
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, singular); err != nil {
+		return fmt.Errorf("core: checkpoint write: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, modes.RawData()); err != nil {
+		return fmt.Errorf("core: checkpoint write: %w", err)
+	}
+	return nil
+}
+
+func readCheckpoint(r io.Reader) (opts Options, modes *mat.Dense,
+	singular []float64, iterations, snapshots int, err error) {
+	var head [5]byte
+	if _, err = io.ReadFull(r, head[:]); err != nil {
+		return opts, nil, nil, 0, 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	if [4]byte(head[:4]) != checkpointMagic {
+		return opts, nil, nil, 0, 0, ErrBadCheckpoint
+	}
+	if head[4] != checkpointVersion {
+		return opts, nil, nil, 0, 0,
+			fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, head[4])
+	}
+	var ints [3]int64
+	for i := range ints {
+		if err = binary.Read(r, binary.LittleEndian, &ints[i]); err != nil {
+			return opts, nil, nil, 0, 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+		}
+	}
+	var ff float64
+	if err = binary.Read(r, binary.LittleEndian, &ff); err != nil {
+		return opts, nil, nil, 0, 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	var lowRank [1]byte
+	if _, err = io.ReadFull(r, lowRank[:]); err != nil {
+		return opts, nil, nil, 0, 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	var meta [7]int64
+	for i := range meta {
+		if err = binary.Read(r, binary.LittleEndian, &meta[i]); err != nil {
+			return opts, nil, nil, 0, 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+		}
+	}
+	rows, cols := meta[5], meta[6]
+	const maxCheckpointElems = int64(1) << 34 // 128 GiB of float64s: sanity bound
+	if rows < 0 || cols < 0 || rows*cols > maxCheckpointElems {
+		return opts, nil, nil, 0, 0,
+			fmt.Errorf("%w: implausible shape %dx%d", ErrBadCheckpoint, rows, cols)
+	}
+	if ff <= 0 || ff > 1 || math.IsNaN(ff) {
+		return opts, nil, nil, 0, 0,
+			fmt.Errorf("%w: forget factor %g out of range", ErrBadCheckpoint, ff)
+	}
+	singular = make([]float64, cols)
+	if err = binary.Read(r, binary.LittleEndian, singular); err != nil {
+		return opts, nil, nil, 0, 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	data := make([]float64, rows*cols)
+	if err = binary.Read(r, binary.LittleEndian, data); err != nil {
+		return opts, nil, nil, 0, 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	opts = Options{
+		K:            int(ints[0]),
+		ForgetFactor: ff,
+		LowRank:      lowRank[0] != 0,
+		RLA: rla.Options{
+			Oversample: int(meta[0]),
+			PowerIters: int(meta[1]),
+			Seed:       meta[2],
+		},
+		R1:     int(meta[3]),
+		Method: apmos.Method(meta[4]),
+	}
+	modes = mat.NewFromData(int(rows), int(cols), data)
+	return opts, modes, singular, int(ints[1]), int(ints[2]), nil
+}

@@ -1,0 +1,263 @@
+// Package core is the public API of goparsvd: a Go reproduction of the
+// PyParSVD library (Maulik & Mengaldo, SC 2021). It composes the three
+// building blocks of the paper — the streaming SVD of Levy & Lindenbaum
+// (internal/stream), the approximate partitioned method of snapshots
+// (internal/apmos) with a distributed tall-skinny QR (internal/tsqr), and
+// randomized linear algebra (internal/rla) — behind the same two-class
+// factory the Python package exposes:
+//
+//   - Serial is ParSVD_Serial: single-process streaming truncated SVD.
+//   - Parallel is ParSVD_Parallel: every rank holds a row block of the
+//     snapshot matrix; initialization runs APMOS and each streaming update
+//     runs a distributed QR plus a small root SVD.
+//
+// Both satisfy Decomposer, so analysis and post-processing code (package
+// postproc) is agnostic to the execution mode, mirroring how PyParSVD's
+// postprocessing module binds to ParSVD_Base.
+package core
+
+import (
+	"fmt"
+
+	"goparsvd/internal/apmos"
+	"goparsvd/internal/linalg"
+	"goparsvd/internal/mat"
+	"goparsvd/internal/mpi"
+	"goparsvd/internal/rla"
+	"goparsvd/internal/stream"
+	"goparsvd/internal/tsqr"
+)
+
+// Decomposer is the contract shared by the serial and parallel engines
+// (the role ParSVD_Base plays in the Python package).
+type Decomposer interface {
+	// Initialize seeds the decomposition with the first snapshot batch.
+	Initialize(a *mat.Dense) Decomposer
+	// IncorporateData streams one more batch of snapshots.
+	IncorporateData(a *mat.Dense) Decomposer
+	// Modes returns the truncated left singular vectors held by this
+	// process: the full M×K matrix for Serial, the local M_i×K slice for
+	// Parallel.
+	Modes() *mat.Dense
+	// SingularValues returns the current truncated singular values.
+	SingularValues() []float64
+	// Iterations returns the number of streaming updates performed.
+	Iterations() int
+}
+
+// Options configures either engine.
+type Options struct {
+	// K is the number of modes (truncated left singular vectors) retained.
+	K int
+	// ForgetFactor is Algorithm 1's ff ∈ (0, 1]; the paper's experiments
+	// use 0.95, and 1.0 recovers the one-shot SVD.
+	ForgetFactor float64
+	// LowRank replaces every dense SVD in the pipeline with the
+	// randomized variant (paper §3.3).
+	LowRank bool
+	// RLA tunes the randomized SVD; zero value means rla.DefaultOptions.
+	RLA rla.Options
+	// R1 is the APMOS gather truncation used by Parallel's initialization
+	// (paper default 50). Zero means the apmos default.
+	R1 int
+	// Method selects how Parallel computes local right vectors during
+	// initialization (Gram-matrix method of snapshots by default).
+	Method apmos.Method
+}
+
+func (o Options) validated() Options {
+	if o.K < 1 {
+		panic(fmt.Sprintf("core: K = %d < 1", o.K))
+	}
+	if o.ForgetFactor <= 0 || o.ForgetFactor > 1 {
+		panic(fmt.Sprintf("core: forget factor %g outside (0, 1]", o.ForgetFactor))
+	}
+	if o.RLA == (rla.Options{}) {
+		o.RLA = rla.DefaultOptions()
+	}
+	return o
+}
+
+// Serial is the single-process streaming SVD engine (ParSVD_Serial).
+type Serial struct {
+	opts Options
+	svd  *stream.SVD
+}
+
+var _ Decomposer = (*Serial)(nil)
+
+// NewSerial constructs a serial engine.
+func NewSerial(opts Options) *Serial {
+	opts = opts.validated()
+	return &Serial{
+		opts: opts,
+		svd: stream.New(stream.Options{
+			K:       opts.K,
+			FF:      opts.ForgetFactor,
+			LowRank: opts.LowRank,
+			RLA:     opts.RLA,
+		}),
+	}
+}
+
+// Initialize seeds the decomposition with the first batch (Listing 1).
+func (s *Serial) Initialize(a *mat.Dense) Decomposer {
+	s.svd.Initialize(a)
+	return s
+}
+
+// IncorporateData streams one more batch (Listing 1).
+func (s *Serial) IncorporateData(a *mat.Dense) Decomposer {
+	s.svd.IncorporateData(a)
+	return s
+}
+
+// Modes returns the current M×K truncated left singular vectors.
+func (s *Serial) Modes() *mat.Dense { return s.svd.Modes() }
+
+// SingularValues returns the current truncated singular values.
+func (s *Serial) SingularValues() []float64 { return s.svd.SingularValues() }
+
+// Iterations returns the number of IncorporateData calls.
+func (s *Serial) Iterations() int { return s.svd.Iterations() }
+
+// SnapshotsSeen returns the total number of ingested snapshot columns.
+func (s *Serial) SnapshotsSeen() int { return s.svd.SnapshotsSeen() }
+
+// Parallel is the distributed streaming SVD engine (ParSVD_Parallel). Each
+// rank constructs its own Parallel around the communicator and its row
+// block of the data; the instances cooperate via MPI-style collectives.
+type Parallel struct {
+	opts      Options
+	comm      *mpi.Comm
+	ulocal    *mat.Dense // local slice of the truncated left singular vectors
+	singular  []float64
+	rows      int
+	iteration int
+	snapshots int
+}
+
+var _ Decomposer = (*Parallel)(nil)
+
+// NewParallel constructs a parallel engine bound to one rank of a
+// communicator.
+func NewParallel(c *mpi.Comm, opts Options) *Parallel {
+	if c == nil {
+		panic("core: NewParallel needs a communicator; use NewSerial for single-process runs")
+	}
+	return &Parallel{opts: opts.validated(), comm: c}
+}
+
+// Rank returns this engine's rank in the communicator.
+func (p *Parallel) Rank() int { return p.comm.Rank() }
+
+// Initialize seeds the decomposition with this rank's block of the first
+// batch using the distributed (optionally randomized) APMOS SVD — the
+// paper's Listing 2/3 `initialize` → `parallel_svd`.
+func (p *Parallel) Initialize(a *mat.Dense) Decomposer {
+	if p.ulocal != nil {
+		panic("core: Initialize called twice")
+	}
+	modes, s := apmos.Decompose(p.comm, a, apmos.Options{
+		K:       p.opts.K,
+		R1:      p.opts.R1,
+		R2:      p.opts.K,
+		Method:  p.opts.Method,
+		LowRank: p.opts.LowRank,
+		RLA:     p.opts.RLA,
+	})
+	p.ulocal = modes
+	p.singular = s
+	p.rows = a.Rows()
+	p.snapshots = a.Cols()
+	return p
+}
+
+// IncorporateData streams this rank's block of a new batch: the forget-
+// factor-weighted concatenation is re-orthogonalized with a distributed
+// QR, and a small SVD of the global R factor updates the modes (the
+// paper's Listing 2 `incorporate_data` → Listing 4 `parallel_qr`).
+func (p *Parallel) IncorporateData(a *mat.Dense) Decomposer {
+	p.mustBeInitialized()
+	if a.Rows() != p.rows {
+		panic(fmt.Sprintf("core: batch has %d rows, want %d", a.Rows(), p.rows))
+	}
+	if a.Cols() == 0 {
+		return p
+	}
+	ll := mat.HStack(mat.Scale(p.opts.ForgetFactor, mat.MulDiag(p.ulocal, p.singular)), a)
+	qlocal, unew, snew := p.parallelQR(ll)
+	k := p.opts.K
+	if k > len(snew) {
+		k = len(snew)
+	}
+	p.ulocal = mat.Mul(qlocal, unew.SliceCols(0, k))
+	p.singular = snew[:k]
+	p.iteration++
+	p.snapshots += a.Cols()
+	return p
+}
+
+// parallelQR is Listing 4: distributed TSQR of the row-distributed ll,
+// then the small SVD ("step b of Levy-Lindenbaum") of the global R at rank
+// 0, broadcast to everyone.
+func (p *Parallel) parallelQR(ll *mat.Dense) (qlocal, unew *mat.Dense, snew []float64) {
+	qlocal, rfinal := tsqr.GatherQR(p.comm, ll)
+	if p.comm.Rank() == 0 {
+		if p.opts.LowRank {
+			k := p.opts.K
+			if t := minInt(rfinal.Rows(), rfinal.Cols()); k > t {
+				k = t
+			}
+			unew, snew = rla.LowRankSVD(rfinal, k, p.opts.RLA)
+		} else {
+			unew, snew, _ = linalg.SVD(rfinal)
+		}
+	}
+	unew = p.comm.BcastMatrix(0, unew)
+	snew = p.comm.BcastFloats(0, snew)
+	return qlocal, unew, snew
+}
+
+// Modes returns this rank's M_i×K slice of the truncated left singular
+// vectors.
+func (p *Parallel) Modes() *mat.Dense {
+	p.mustBeInitialized()
+	return p.ulocal
+}
+
+// SingularValues returns the current truncated (global) singular values.
+func (p *Parallel) SingularValues() []float64 {
+	p.mustBeInitialized()
+	return p.singular
+}
+
+// Iterations returns the number of streaming updates performed.
+func (p *Parallel) Iterations() int { return p.iteration }
+
+// SnapshotsSeen returns the total number of ingested snapshot columns.
+func (p *Parallel) SnapshotsSeen() int { return p.snapshots }
+
+// GatherModes assembles the full M×K mode matrix at rank 0 (the paper's
+// `_gather_modes`). Other ranks receive nil.
+func (p *Parallel) GatherModes() *mat.Dense {
+	p.mustBeInitialized()
+	blocks := p.comm.GatherMatrix(0, p.ulocal)
+	if p.comm.Rank() != 0 {
+		return nil
+	}
+	return mat.VStack(blocks...)
+}
+
+func (p *Parallel) mustBeInitialized() {
+	if p.ulocal == nil {
+		panic("core: Parallel not initialized; call Initialize with the first batch")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

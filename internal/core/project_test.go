@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"goparsvd/internal/linalg"
+	"goparsvd/internal/mat"
+	"goparsvd/internal/mpi"
+	"goparsvd/internal/testutil"
+)
+
+func TestSerialCoefficientsRoundTrip(t *testing.T) {
+	// For data that lies exactly in a rank-r subspace with K ≥ r, the
+	// compress/reconstruct round trip is lossless.
+	rng := testutil.NewRand(21)
+	a, _ := testutil.RandomLowRank(60, 20, 4, 0, rng)
+	eng := NewSerial(Options{K: 5, ForgetFactor: 1})
+	eng.Initialize(a.SliceCols(0, 10))
+	eng.IncorporateData(a.SliceCols(10, 20))
+
+	coeffs := eng.Coefficients(a)
+	if coeffs.Rows() != 5 || coeffs.Cols() != 20 {
+		t.Fatalf("coefficients shape %dx%d", coeffs.Rows(), coeffs.Cols())
+	}
+	recon := eng.Reconstruct(coeffs)
+	if rel := mat.Sub(a, recon).FroNorm() / a.FroNorm(); rel > 1e-8 {
+		t.Fatalf("lossless round trip failed: rel error %g", rel)
+	}
+}
+
+func TestSerialReconstructionErrorMatchesEckartYoung(t *testing.T) {
+	// For general data the rank-K round-trip error cannot beat the optimal
+	// rank-K error, and with ff = 1 streaming it should be close to it.
+	rng := testutil.NewRand(22)
+	a := testutil.RandomDense(80, 24, rng)
+	k := 6
+	eng := NewSerial(Options{K: k, ForgetFactor: 1})
+	eng.Initialize(a)
+
+	recon := eng.Reconstruct(eng.Coefficients(a))
+	got := mat.Sub(a, recon).FroNorm()
+	_, s, _ := linalg.SVD(a)
+	opt := 0.0
+	for _, sv := range s[k:] {
+		opt += sv * sv
+	}
+	opt = math.Sqrt(opt)
+	if got < opt-1e-9 {
+		t.Fatalf("beat Eckart-Young?! got %g < optimal %g", got, opt)
+	}
+	if got > 1.01*opt {
+		t.Fatalf("round-trip error %g far from optimal %g", got, opt)
+	}
+}
+
+func TestParallelCoefficientsMatchSerial(t *testing.T) {
+	rng := testutil.NewRand(23)
+	a, _ := testutil.RandomLowRank(72, 18, 5, 1e-8, rng)
+	opts := Options{K: 4, ForgetFactor: 1, R1: 18}
+
+	serial := NewSerial(opts)
+	serial.Initialize(a)
+	serialCoeffs := serial.Coefficients(a)
+
+	const p = 3
+	blocks := splitRows(a, p)
+	coeffsByRank := make([]*mat.Dense, p)
+	reconBlocks := make([]*mat.Dense, p)
+	var mu sync.Mutex
+	mpi.MustRun(p, func(c *mpi.Comm) {
+		eng := NewParallel(c, opts)
+		eng.Initialize(blocks[c.Rank()])
+		coeffs := eng.Coefficients(blocks[c.Rank()])
+		recon := eng.Reconstruct(coeffs)
+		mu.Lock()
+		coeffsByRank[c.Rank()] = coeffs
+		reconBlocks[c.Rank()] = recon
+		mu.Unlock()
+	})
+
+	// Every rank computes identical global coefficients.
+	for r := 1; r < p; r++ {
+		if !mat.EqualApprox(coeffsByRank[0], coeffsByRank[r], 1e-12) {
+			t.Fatalf("rank %d coefficients differ from rank 0", r)
+		}
+	}
+	// They agree with the serial projection up to per-mode sign flips, so
+	// compare the reconstructions, which are sign-invariant.
+	serialRecon := serial.Reconstruct(serialCoeffs)
+	parallelRecon := mat.VStack(reconBlocks...)
+	if !mat.EqualApprox(serialRecon, parallelRecon, 1e-6) {
+		t.Fatalf("parallel reconstruction differs from serial by %g",
+			mat.Sub(serialRecon, parallelRecon).MaxAbs())
+	}
+}
+
+func TestCoefficientsShapeErrors(t *testing.T) {
+	rng := testutil.NewRand(24)
+	eng := NewSerial(Options{K: 2, ForgetFactor: 1})
+	eng.Initialize(testutil.RandomDense(10, 4, rng))
+	for name, fn := range map[string]func(){
+		"coeff rows":  func() { eng.Coefficients(mat.New(9, 4)) },
+		"recon shape": func() { eng.Reconstruct(mat.New(3, 4)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	// 1000×100 at K=5: 100000 / (5000 + 5 + 500) ≈ 18.2.
+	got := CompressionRatio(1000, 100, 5)
+	want := 100000.0 / 5505.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ratio %g, want %g", got, want)
+	}
+}
+
+func TestCompressionRatioInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid args did not panic")
+		}
+	}()
+	CompressionRatio(0, 10, 2)
+}

@@ -1,0 +1,185 @@
+// Package linalg implements the dense decompositions that goparsvd needs:
+// Householder QR, the Golub–Reinsch SVD, a one-sided Jacobi SVD, and a
+// symmetric Jacobi eigensolver. It is the stdlib-only stand-in for the
+// LAPACK routines PyParSVD reaches through NumPy (np.linalg.qr,
+// np.linalg.svd, np.linalg.eigh).
+//
+// All routines operate on mat.Dense values and never modify their inputs.
+// Factorizations use deterministic sign conventions where noted so that
+// results are reproducible across serial and distributed code paths.
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"goparsvd/internal/mat"
+)
+
+// QR computes the thin (reduced) QR factorization A = Q·R of an m×n matrix,
+// matching numpy.linalg.qr's "reduced" mode: Q is m×t and R is t×n with
+// t = min(m, n). Q has orthonormal columns and R is upper triangular.
+func QR(a *mat.Dense) (q, r *mat.Dense) {
+	m, n := a.Dims()
+	t := m
+	if n < t {
+		t = n
+	}
+	w := a.Clone() // Householder vectors accumulate below the diagonal.
+	tau := make([]float64, t)
+
+	for k := 0; k < t; k++ {
+		tau[k] = houseColumn(w, k)
+	}
+
+	// Extract R: the upper triangle of the first t rows of w.
+	r = mat.New(t, n)
+	for i := 0; i < t; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, w.At(i, j))
+		}
+	}
+
+	// Backward accumulation of Q = H_0·H_1···H_{t-1} applied to the first t
+	// columns of the identity.
+	q = mat.New(m, t)
+	for j := 0; j < t; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := t - 1; k >= 0; k-- {
+		applyHouseLeft(q, w, k, tau[k])
+	}
+	return q, r
+}
+
+// houseColumn forms the Householder reflector annihilating column k of w
+// below the diagonal, stores the essential part of the vector in place
+// (w[k+1:,k]), writes the resulting R entry at (k,k) and applies the
+// reflector to the trailing columns. It returns tau such that
+// H = I - tau·v·vᵀ with v[k] = 1.
+func houseColumn(w *mat.Dense, k int) float64 {
+	m, n := w.Dims()
+	// Norm of the column below and including the diagonal.
+	norm := 0.0
+	for i := k; i < m; i++ {
+		v := w.At(i, k)
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		return 0
+	}
+	alpha := w.At(k, k)
+	// Choose the sign that avoids cancellation: beta = -sign(alpha)·‖x‖.
+	beta := -norm
+	if alpha < 0 {
+		beta = norm
+	}
+	// v = x - beta·e_k, normalized so v[k] = 1.
+	v0 := alpha - beta
+	for i := k + 1; i < m; i++ {
+		w.Set(i, k, w.At(i, k)/v0)
+	}
+	tau := (beta - alpha) / beta
+	w.Set(k, k, beta)
+
+	// Apply H to the trailing columns: for each column j > k,
+	// x_j -= tau·(vᵀx_j)·v.
+	for j := k + 1; j < n; j++ {
+		s := w.At(k, j) // v[k] = 1
+		for i := k + 1; i < m; i++ {
+			s += w.At(i, k) * w.At(i, j)
+		}
+		s *= tau
+		w.Set(k, j, w.At(k, j)-s)
+		for i := k + 1; i < m; i++ {
+			w.Set(i, j, w.At(i, j)-s*w.At(i, k))
+		}
+	}
+	return tau
+}
+
+// applyHouseLeft applies the k-th stored reflector H = I - tau·v·vᵀ to every
+// column of q in place, where v is stored in column k of w below the
+// diagonal with implicit v[k] = 1.
+func applyHouseLeft(q, w *mat.Dense, k int, tau float64) {
+	if tau == 0 {
+		return
+	}
+	m, p := q.Dims()
+	for j := 0; j < p; j++ {
+		s := q.At(k, j)
+		for i := k + 1; i < m; i++ {
+			s += w.At(i, k) * q.At(i, j)
+		}
+		s *= tau
+		q.Set(k, j, q.At(k, j)-s)
+		for i := k + 1; i < m; i++ {
+			q.Set(i, j, q.At(i, j)-s*w.At(i, k))
+		}
+	}
+}
+
+// SolveUpperTriangular solves R·x = b for upper-triangular R (n×n). It
+// panics if R is singular to working precision or the dimensions mismatch.
+func SolveUpperTriangular(r *mat.Dense, b []float64) []float64 {
+	n, c := r.Dims()
+	if n != c {
+		panic(fmt.Sprintf("linalg: SolveUpperTriangular needs a square matrix, got %dx%d", n, c))
+	}
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: SolveUpperTriangular rhs length %d, want %d", len(b), n))
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		d := r.At(i, i)
+		if d == 0 {
+			panic("linalg: SolveUpperTriangular: singular matrix")
+		}
+		x[i] = s / d
+	}
+	return x
+}
+
+// LeastSquares solves min‖A·x − b‖₂ via QR for an m×n matrix with m ≥ n of
+// full column rank.
+func LeastSquares(a *mat.Dense, b []float64) []float64 {
+	m, n := a.Dims()
+	if m < n {
+		panic(fmt.Sprintf("linalg: LeastSquares needs m >= n, got %dx%d", m, n))
+	}
+	if len(b) != m {
+		panic(fmt.Sprintf("linalg: LeastSquares rhs length %d, want %d", len(b), m))
+	}
+	q, r := QR(a)
+	qtb := mat.MulVecTrans(q, b)
+	return SolveUpperTriangular(r, qtb)
+}
+
+// NormalizeQRSigns flips the signs of Q's columns and R's rows in place so
+// that every diagonal entry of R is non-negative. For a full-column-rank
+// matrix this makes the thin QR factorization unique, which lets the
+// distributed TSQR reproduce the serial factorization bit-for-bit in exact
+// arithmetic — the principled version of the `qglobal = -qglobal` "trick
+// for consistency" in the paper's Listing 4.
+func NormalizeQRSigns(q, r *mat.Dense) {
+	t := r.Rows()
+	if q.Cols() < t {
+		t = q.Cols()
+	}
+	for k := 0; k < t; k++ {
+		if r.At(k, k) >= 0 {
+			continue
+		}
+		for j := 0; j < r.Cols(); j++ {
+			r.Set(k, j, -r.At(k, j))
+		}
+		for i := 0; i < q.Rows(); i++ {
+			q.Set(i, k, -q.At(i, k))
+		}
+	}
+}

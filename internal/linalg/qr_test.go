@@ -1,0 +1,192 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"goparsvd/internal/mat"
+	"goparsvd/internal/testutil"
+)
+
+func TestQRTall(t *testing.T) {
+	rng := testutil.NewRand(1)
+	a := testutil.RandomDense(20, 5, rng)
+	q, r := QR(a)
+	if q.Rows() != 20 || q.Cols() != 5 || r.Rows() != 5 || r.Cols() != 5 {
+		t.Fatalf("thin QR shapes: Q %dx%d, R %dx%d", q.Rows(), q.Cols(), r.Rows(), r.Cols())
+	}
+	testutil.CheckOrthonormalColumns(t, "Q", q, 1e-12)
+	testutil.CheckUpperTriangular(t, "R", r, 1e-13)
+	if !mat.EqualApprox(mat.Mul(q, r), a, 1e-12) {
+		t.Fatal("QR reconstruction failed")
+	}
+}
+
+func TestQRSquare(t *testing.T) {
+	rng := testutil.NewRand(2)
+	a := testutil.RandomDense(6, 6, rng)
+	q, r := QR(a)
+	testutil.CheckOrthonormalColumns(t, "Q", q, 1e-12)
+	testutil.CheckUpperTriangular(t, "R", r, 1e-13)
+	if !mat.EqualApprox(mat.Mul(q, r), a, 1e-12) {
+		t.Fatal("QR reconstruction failed")
+	}
+}
+
+func TestQRWide(t *testing.T) {
+	rng := testutil.NewRand(3)
+	a := testutil.RandomDense(4, 9, rng)
+	q, r := QR(a)
+	if q.Rows() != 4 || q.Cols() != 4 || r.Rows() != 4 || r.Cols() != 9 {
+		t.Fatalf("wide QR shapes: Q %dx%d, R %dx%d", q.Rows(), q.Cols(), r.Rows(), r.Cols())
+	}
+	testutil.CheckOrthonormalColumns(t, "Q", q, 1e-12)
+	testutil.CheckUpperTriangular(t, "R", r, 1e-13)
+	if !mat.EqualApprox(mat.Mul(q, r), a, 1e-12) {
+		t.Fatal("QR reconstruction failed")
+	}
+}
+
+func TestQRIdentity(t *testing.T) {
+	q, r := QR(mat.Eye(4))
+	if !mat.EqualApprox(mat.Mul(q, r), mat.Eye(4), 1e-14) {
+		t.Fatal("QR of identity failed")
+	}
+}
+
+func TestQRZeroMatrix(t *testing.T) {
+	a := mat.New(5, 3)
+	q, r := QR(a)
+	if !mat.EqualApprox(mat.Mul(q, r), a, 1e-14) {
+		t.Fatal("QR of zero matrix must reconstruct zero")
+	}
+	if r.MaxAbs() != 0 {
+		t.Fatal("R of zero matrix must be zero")
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Two identical columns: rank 1.
+	a := mat.NewFromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	q, r := QR(a)
+	if !mat.EqualApprox(mat.Mul(q, r), a, 1e-13) {
+		t.Fatal("QR of rank-deficient matrix must still reconstruct")
+	}
+	if math.Abs(r.At(1, 1)) > 1e-13 {
+		t.Fatalf("R[1,1] should be ~0 for rank-1 input, got %g", r.At(1, 1))
+	}
+}
+
+func TestQRSingleColumn(t *testing.T) {
+	a := mat.NewFromRows([][]float64{{3}, {4}})
+	q, r := QR(a)
+	if math.Abs(math.Abs(r.At(0, 0))-5) > 1e-14 {
+		t.Fatalf("|R[0,0]| = %g, want 5", math.Abs(r.At(0, 0)))
+	}
+	testutil.CheckOrthonormalColumns(t, "Q", q, 1e-14)
+}
+
+func TestQRDeterministic(t *testing.T) {
+	rng := testutil.NewRand(4)
+	a := testutil.RandomDense(10, 4, rng)
+	q1, r1 := QR(a)
+	q2, r2 := QR(a)
+	if !mat.EqualApprox(q1, q2, 0) || !mat.EqualApprox(r1, r2, 0) {
+		t.Fatal("QR must be deterministic")
+	}
+}
+
+func TestQRDoesNotMutateInput(t *testing.T) {
+	rng := testutil.NewRand(5)
+	a := testutil.RandomDense(8, 3, rng)
+	before := a.Clone()
+	QR(a)
+	if !mat.EqualApprox(a, before, 0) {
+		t.Fatal("QR mutated its input")
+	}
+}
+
+// Property-based: QR invariants hold over random shapes.
+func TestPropertyQRInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(12)
+		n := 1 + rng.Intn(12)
+		a := testutil.RandomDense(m, n, rng)
+		q, r := QR(a)
+		// Reconstruction.
+		if !mat.EqualApprox(mat.Mul(q, r), a, 1e-11) {
+			return false
+		}
+		// Orthonormality: QᵀQ = I.
+		g := mat.MulTransA(q, q)
+		return mat.EqualApprox(g, mat.Eye(q.Cols()), 1e-11)
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: testutil.NewRand(6)}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveUpperTriangular(t *testing.T) {
+	r := mat.NewFromRows([][]float64{{2, 1}, {0, 3}})
+	x := SolveUpperTriangular(r, []float64{5, 6})
+	// 3x₂ = 6 → x₂ = 2; 2x₁ + 2 = 5 → x₁ = 1.5.
+	if math.Abs(x[0]-1.5) > 1e-14 || math.Abs(x[1]-2) > 1e-14 {
+		t.Fatalf("solve = %v", x)
+	}
+}
+
+func TestSolveUpperTriangularSingularPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("singular solve did not panic")
+		}
+	}()
+	SolveUpperTriangular(mat.NewFromRows([][]float64{{1, 2}, {0, 0}}), []float64{1, 1})
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined consistent system: the residual must be ~0.
+	a := mat.NewFromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	xTrue := []float64{2, -3}
+	b := mat.MulVec(a, xTrue)
+	x := LeastSquares(a, b)
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]+3) > 1e-12 {
+		t.Fatalf("LeastSquares = %v, want %v", x, xTrue)
+	}
+}
+
+func TestLeastSquaresMinimizesResidual(t *testing.T) {
+	rng := testutil.NewRand(7)
+	a := testutil.RandomDense(30, 4, rng)
+	b := make([]float64, 30)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := LeastSquares(a, b)
+	res := residualNorm(a, x, b)
+	// Perturbing the solution in any coordinate direction must not shrink
+	// the residual (first-order optimality check).
+	for j := 0; j < 4; j++ {
+		for _, eps := range []float64{1e-4, -1e-4} {
+			xp := append([]float64(nil), x...)
+			xp[j] += eps
+			if residualNorm(a, xp, b) < res-1e-12 {
+				t.Fatalf("residual decreased when perturbing x[%d]", j)
+			}
+		}
+	}
+}
+
+func residualNorm(a *mat.Dense, x, b []float64) float64 {
+	ax := mat.MulVec(a, x)
+	s := 0.0
+	for i := range ax {
+		d := ax[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

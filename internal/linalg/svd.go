@@ -1,0 +1,404 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"goparsvd/internal/mat"
+)
+
+// maxSVDIterations bounds the implicit-shift QR sweeps per singular value
+// in the Golub–Reinsch iteration before falling back to the (slower,
+// unconditionally convergent) Jacobi SVD. The classical limit is 30, but
+// Gram matrices of snapshot ensembles — squared singular values spanning
+// the full double-precision range — can legitimately need a few more (the
+// 1024×128 Burgers Gram converges at ~33), so the cap is doubled.
+const maxSVDIterations = 60
+
+var errNoConvergence = errors.New("linalg: Golub-Reinsch SVD did not converge")
+
+// SVD computes the thin singular value decomposition A = U·diag(s)·Vᵀ.
+//
+// For an m×n input it returns U (m×t), s (length t, non-negative,
+// descending) and V (n×t) with t = min(m, n). Columns of U and V are
+// orthonormal. This matches numpy.linalg.svd with full_matrices=False, which
+// is all PyParSVD ever uses (the library immediately truncates to K modes).
+//
+// Tall matrices (m ≥ 2n) are reduced with a QR factorization first, so the
+// expensive iteration runs on the small n×n triangular factor — the same
+// strategy the paper leans on throughout (Algorithm 1, step I1/I2).
+func SVD(a *mat.Dense) (u *mat.Dense, s []float64, v *mat.Dense) {
+	m, n := a.Dims()
+	if m == 0 || n == 0 {
+		return mat.New(m, 0), nil, mat.New(n, 0)
+	}
+	if m < n {
+		// SVD(Aᵀ) = V·S·Uᵀ: swap the roles of the factor matrices.
+		vt, s, ut := SVD(a.T())
+		return ut, s, vt
+	}
+	if m >= 2*n {
+		q, r := QR(a)
+		ur, s, v := svdSquareish(r)
+		return mat.Mul(q, ur), s, v
+	}
+	return svdSquareish(a)
+}
+
+// SVDTruncated computes the thin SVD and keeps only the leading k triplets.
+// If k exceeds min(m, n) the full thin SVD is returned.
+func SVDTruncated(a *mat.Dense, k int) (u *mat.Dense, s []float64, v *mat.Dense) {
+	u, s, v = SVD(a)
+	if k < 0 {
+		panic(fmt.Sprintf("linalg: SVDTruncated negative k=%d", k))
+	}
+	if k >= len(s) {
+		return u, s, v
+	}
+	return u.SliceCols(0, k), s[:k], v.SliceCols(0, k)
+}
+
+// svdSquareish runs Golub–Reinsch on an m×n matrix with m ≥ n, falling back
+// to one-sided Jacobi if the iteration fails to converge.
+func svdSquareish(a *mat.Dense) (u *mat.Dense, s []float64, v *mat.Dense) {
+	m, n := a.Dims()
+	uw := a.Clone()
+	s = make([]float64, n)
+	v = mat.New(n, n)
+	if err := golubReinsch(uw, s, v); err != nil {
+		return JacobiSVD(a)
+	}
+	sortSVDDescending(uw, s, v)
+	// Zero out numerically negative values introduced by sign flips.
+	for i, sv := range s {
+		if sv < 0 {
+			s[i] = 0
+		}
+	}
+	_ = m
+	return uw, s, v
+}
+
+// sortSVDDescending reorders the SVD triplets in place so the singular
+// values are non-increasing; U and V columns are permuted consistently.
+func sortSVDDescending(u *mat.Dense, s []float64, v *mat.Dense) {
+	n := len(s)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return s[idx[a]] > s[idx[b]] })
+	permuteColumns(u, idx)
+	permuteColumns(v, idx)
+	ss := make([]float64, n)
+	for i, j := range idx {
+		ss[i] = s[j]
+	}
+	copy(s, ss)
+}
+
+// permuteColumns rearranges the columns of m so that new column i is old
+// column idx[i].
+func permuteColumns(m *mat.Dense, idx []int) {
+	r, c := m.Dims()
+	if len(idx) != c {
+		panic(fmt.Sprintf("linalg: permutation length %d, want %d", len(idx), c))
+	}
+	tmp := mat.New(r, c)
+	for newJ, oldJ := range idx {
+		tmp.SetCol(newJ, m.Col(oldJ))
+	}
+	m.CopyFrom(tmp)
+}
+
+// pythag returns sqrt(a²+b²) without destructive underflow or overflow.
+func pythag(a, b float64) float64 {
+	absa, absb := math.Abs(a), math.Abs(b)
+	if absa > absb {
+		r := absb / absa
+		return absa * math.Sqrt(1+r*r)
+	}
+	if absb == 0 {
+		return 0
+	}
+	r := absa / absb
+	return absb * math.Sqrt(1+r*r)
+}
+
+// signOf returns |a| with the sign of b (the Fortran SIGN intrinsic).
+func signOf(a, b float64) float64 {
+	if b >= 0 {
+		return math.Abs(a)
+	}
+	return -math.Abs(a)
+}
+
+// golubReinsch performs the classical Golub–Reinsch SVD of the m×n matrix
+// stored in u (m ≥ n): Householder bidiagonalization followed by implicit
+// shifted QR on the bidiagonal form. On return u holds the left singular
+// vectors (m×n), w the singular values and v the right singular vectors
+// (n×n). Values are not yet sorted and may require sign cleanup.
+//
+// The routine is a 0-based port of the classical ALGOL procedure of Golub &
+// Reinsch as popularized by the svdcmp formulation.
+func golubReinsch(uD *mat.Dense, w []float64, vD *mat.Dense) error {
+	m, n := uD.Dims()
+	u := make([][]float64, m)
+	for i := range u {
+		u[i] = uD.RowView(i)
+	}
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = vD.RowView(i)
+	}
+
+	rv1 := make([]float64, n)
+	var g, scale, anorm float64
+	var l int
+
+	// Householder reduction to bidiagonal form.
+	for i := 0; i < n; i++ {
+		l = i + 1
+		rv1[i] = scale * g
+		g, scale = 0, 0
+		s := 0.0
+		if i < m {
+			for k := i; k < m; k++ {
+				scale += math.Abs(u[k][i])
+			}
+			if scale != 0 {
+				for k := i; k < m; k++ {
+					u[k][i] /= scale
+					s += u[k][i] * u[k][i]
+				}
+				f := u[i][i]
+				g = -signOf(math.Sqrt(s), f)
+				h := f*g - s
+				u[i][i] = f - g
+				for j := l; j < n; j++ {
+					s = 0
+					for k := i; k < m; k++ {
+						s += u[k][i] * u[k][j]
+					}
+					f = s / h
+					for k := i; k < m; k++ {
+						u[k][j] += f * u[k][i]
+					}
+				}
+				for k := i; k < m; k++ {
+					u[k][i] *= scale
+				}
+			}
+		}
+		w[i] = scale * g
+		g, s, scale = 0, 0, 0
+		if i < m && i != n-1 {
+			for k := l; k < n; k++ {
+				scale += math.Abs(u[i][k])
+			}
+			if scale != 0 {
+				for k := l; k < n; k++ {
+					u[i][k] /= scale
+					s += u[i][k] * u[i][k]
+				}
+				f := u[i][l]
+				g = -signOf(math.Sqrt(s), f)
+				h := f*g - s
+				u[i][l] = f - g
+				for k := l; k < n; k++ {
+					rv1[k] = u[i][k] / h
+				}
+				for j := l; j < m; j++ {
+					s = 0
+					for k := l; k < n; k++ {
+						s += u[j][k] * u[i][k]
+					}
+					for k := l; k < n; k++ {
+						u[j][k] += s * rv1[k]
+					}
+				}
+				for k := l; k < n; k++ {
+					u[i][k] *= scale
+				}
+			}
+		}
+		if t := math.Abs(w[i]) + math.Abs(rv1[i]); t > anorm {
+			anorm = t
+		}
+	}
+
+	// Accumulation of right-hand transformations.
+	for i := n - 1; i >= 0; i-- {
+		if i < n-1 {
+			if g != 0 {
+				for j := l; j < n; j++ {
+					// Double division avoids possible underflow.
+					v[j][i] = (u[i][j] / u[i][l]) / g
+				}
+				for j := l; j < n; j++ {
+					s := 0.0
+					for k := l; k < n; k++ {
+						s += u[i][k] * v[k][j]
+					}
+					for k := l; k < n; k++ {
+						v[k][j] += s * v[k][i]
+					}
+				}
+			}
+			for j := l; j < n; j++ {
+				v[i][j] = 0
+				v[j][i] = 0
+			}
+		}
+		v[i][i] = 1
+		g = rv1[i]
+		l = i
+	}
+
+	// Accumulation of left-hand transformations.
+	for i := min(m, n) - 1; i >= 0; i-- {
+		l := i + 1
+		g := w[i]
+		for j := l; j < n; j++ {
+			u[i][j] = 0
+		}
+		if g != 0 {
+			g = 1 / g
+			for j := l; j < n; j++ {
+				s := 0.0
+				for k := l; k < m; k++ {
+					s += u[k][i] * u[k][j]
+				}
+				f := (s / u[i][i]) * g
+				for k := i; k < m; k++ {
+					u[k][j] += f * u[k][i]
+				}
+			}
+			for j := i; j < m; j++ {
+				u[j][i] *= g
+			}
+		} else {
+			for j := i; j < m; j++ {
+				u[j][i] = 0
+			}
+		}
+		u[i][i]++
+	}
+
+	// Diagonalization of the bidiagonal form.
+	for k := n - 1; k >= 0; k-- {
+		for its := 0; ; its++ {
+			flag := true
+			var nm int
+			lo := 0
+			for lo = k; lo >= 0; lo-- {
+				nm = lo - 1
+				if math.Abs(rv1[lo])+anorm == anorm {
+					flag = false
+					break
+				}
+				// rv1[0] == 0, so nm never reaches -1 here.
+				if math.Abs(w[nm])+anorm == anorm {
+					break
+				}
+			}
+			if flag {
+				// Cancellation of rv1[lo] when lo > 0.
+				c, s := 0.0, 1.0
+				for i := lo; i <= k; i++ {
+					f := s * rv1[i]
+					rv1[i] = c * rv1[i]
+					if math.Abs(f)+anorm == anorm {
+						break
+					}
+					g := w[i]
+					h := pythag(f, g)
+					w[i] = h
+					h = 1 / h
+					c = g * h
+					s = -f * h
+					for j := 0; j < m; j++ {
+						y := u[j][nm]
+						z := u[j][i]
+						u[j][nm] = y*c + z*s
+						u[j][i] = z*c - y*s
+					}
+				}
+			}
+			z := w[k]
+			if lo == k {
+				// Convergence; force the singular value non-negative.
+				if z < 0 {
+					w[k] = -z
+					for j := 0; j < n; j++ {
+						v[j][k] = -v[j][k]
+					}
+				}
+				break
+			}
+			if its == maxSVDIterations-1 {
+				return errNoConvergence
+			}
+			// Shift from the bottom 2×2 minor.
+			x := w[lo]
+			nm = k - 1
+			y := w[nm]
+			g := rv1[nm]
+			h := rv1[k]
+			f := ((y-z)*(y+z) + (g-h)*(g+h)) / (2 * h * y)
+			g = pythag(f, 1)
+			f = ((x-z)*(x+z) + h*((y/(f+signOf(g, f)))-h)) / x
+			// Next QR transformation.
+			c, s := 1.0, 1.0
+			for j := lo; j <= nm; j++ {
+				i := j + 1
+				g = rv1[i]
+				y = w[i]
+				h = s * g
+				g = c * g
+				z = pythag(f, h)
+				rv1[j] = z
+				c = f / z
+				s = h / z
+				f = x*c + g*s
+				g = g*c - x*s
+				h = y * s
+				y *= c
+				for jj := 0; jj < n; jj++ {
+					xx := v[jj][j]
+					zz := v[jj][i]
+					v[jj][j] = xx*c + zz*s
+					v[jj][i] = zz*c - xx*s
+				}
+				z = pythag(f, h)
+				w[j] = z
+				if z != 0 {
+					z = 1 / z
+					c = f * z
+					s = h * z
+				}
+				f = c*g + s*y
+				x = c*y - s*g
+				for jj := 0; jj < m; jj++ {
+					yy := u[jj][j]
+					zz := u[jj][i]
+					u[jj][j] = yy*c + zz*s
+					u[jj][i] = zz*c - yy*s
+				}
+			}
+			rv1[lo] = 0
+			rv1[k] = f
+			w[k] = x
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

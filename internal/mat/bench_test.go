@@ -1,0 +1,69 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(r, c int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := New(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkMulSquare256(b *testing.B) {
+	x := benchMatrix(256, 256, 1)
+	y := benchMatrix(256, 256, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+	b.SetBytes(int64(8 * 256 * 256))
+}
+
+func BenchmarkMulTallSkinny(b *testing.B) {
+	// The library's dominant shape: very tall times small.
+	x := benchMatrix(16384, 64, 3)
+	y := benchMatrix(64, 64, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkMulTransAGram(b *testing.B) {
+	// Gram matrix formation AᵀA, the method-of-snapshots kernel.
+	x := benchMatrix(8192, 96, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulTransA(x, x)
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	x := benchMatrix(1024, 512, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.T()
+	}
+}
+
+func BenchmarkHStack(b *testing.B) {
+	x := benchMatrix(4096, 32, 7)
+	y := benchMatrix(4096, 32, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HStack(x, y)
+	}
+}
+
+func BenchmarkFroNorm(b *testing.B) {
+	x := benchMatrix(2048, 256, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.FroNorm()
+	}
+}

@@ -1,0 +1,390 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// parallelFlopThreshold is the approximate flop count above which Mul spreads
+// the row blocks of the output across goroutines. Below it the scheduling
+// overhead dominates any speedup.
+const parallelFlopThreshold = 1 << 20
+
+// Add returns a + b. It panics on dimension mismatch.
+func Add(a, b *Dense) *Dense {
+	checkSameDims("Add", a, b)
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v + b.data[i]
+	}
+	return out
+}
+
+// Sub returns a - b. It panics on dimension mismatch.
+func Sub(a, b *Dense) *Dense {
+	checkSameDims("Sub", a, b)
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v - b.data[i]
+	}
+	return out
+}
+
+// Scale returns s*a as a new matrix.
+func Scale(s float64, a *Dense) *Dense {
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = s * v
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element of a by s.
+func ScaleInPlace(s float64, a *Dense) {
+	for i := range a.data {
+		a.data[i] *= s
+	}
+}
+
+// AddScaled returns a + s*b. It panics on dimension mismatch.
+func AddScaled(a *Dense, s float64, b *Dense) *Dense {
+	checkSameDims("AddScaled", a, b)
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v + s*b.data[i]
+	}
+	return out
+}
+
+func checkSameDims(op string, a, b *Dense) {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("mat: %s dimension mismatch %dx%d vs %dx%d",
+			op, a.rows, a.cols, b.rows, b.cols))
+	}
+}
+
+// Mul returns the matrix product a*b. The inner loops are arranged in i-k-j
+// order so the innermost traversal is contiguous in both b and the output;
+// large products are split row-wise across goroutines.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d",
+			a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.cols)
+	mulInto(out, a, b)
+	return out
+}
+
+func mulInto(out, a, b *Dense) {
+	flops := a.rows * a.cols * b.cols
+	workers := runtime.GOMAXPROCS(0)
+	if flops < parallelFlopThreshold || workers < 2 || a.rows < 2*workers {
+		mulRows(out, a, b, 0, a.rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (a.rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		r0 := w * chunk
+		if r0 >= a.rows {
+			break
+		}
+		r1 := r0 + chunk
+		if r1 > a.rows {
+			r1 = a.rows
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			mulRows(out, a, b, r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// mulRows computes rows [r0,r1) of out = a*b.
+func mulRows(out, a, b *Dense, r0, r1 int) {
+	n, p := a.cols, b.cols
+	for i := r0; i < r1; i++ {
+		arow := a.data[i*n : (i+1)*n]
+		orow := out.data[i*p : (i+1)*p]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*p : (k+1)*p]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulTransA returns aᵀ*b without materializing the transpose.
+func MulTransA(a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("mat: MulTransA dimension mismatch %dx%d ᵀ* %dx%d",
+			a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.cols, b.cols)
+	m, n, p := a.rows, a.cols, b.cols
+	workers := runtime.GOMAXPROCS(0)
+	if m*n*p < parallelFlopThreshold || workers < 2 || n < 2*workers {
+		mulTransARows(out, a, b, 0, n)
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		c0 := w * chunk
+		if c0 >= n {
+			break
+		}
+		c1 := c0 + chunk
+		if c1 > n {
+			c1 = n
+		}
+		wg.Add(1)
+		go func(c0, c1 int) {
+			defer wg.Done()
+			mulTransARows(out, a, b, c0, c1)
+		}(c0, c1)
+	}
+	wg.Wait()
+	return out
+}
+
+// mulTransARows computes rows [c0,c1) of out = aᵀ*b (rows of out correspond
+// to columns of a).
+func mulTransARows(out, a, b *Dense, c0, c1 int) {
+	m, n, p := a.rows, a.cols, b.cols
+	for k := 0; k < m; k++ {
+		arow := a.data[k*n : (k+1)*n]
+		brow := b.data[k*p : (k+1)*p]
+		for i := c0; i < c1; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*p : (i+1)*p]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulTransB returns a*bᵀ without materializing the transpose.
+func MulTransB(a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulTransB dimension mismatch %dx%d *ᵀ %dx%d",
+			a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.rows)
+	n := a.cols
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*n : (i+1)*n]
+		orow := out.data[i*b.rows : (i+1)*b.rows]
+		for j := 0; j < b.rows; j++ {
+			brow := b.data[j*n : (j+1)*n]
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// MulDiag returns a*diag(d), scaling column j of a by d[j]. It panics unless
+// len(d) == a.Cols().
+func MulDiag(a *Dense, d []float64) *Dense {
+	if len(d) != a.cols {
+		panic(fmt.Sprintf("mat: MulDiag length %d, want %d", len(d), a.cols))
+	}
+	out := New(a.rows, a.cols)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*a.cols : (i+1)*a.cols]
+		for j, v := range row {
+			orow[j] = v * d[j]
+		}
+	}
+	return out
+}
+
+// DiagMul returns diag(d)*a, scaling row i of a by d[i]. It panics unless
+// len(d) == a.Rows().
+func DiagMul(d []float64, a *Dense) *Dense {
+	if len(d) != a.rows {
+		panic(fmt.Sprintf("mat: DiagMul length %d, want %d", len(d), a.rows))
+	}
+	out := New(a.rows, a.cols)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*a.cols : (i+1)*a.cols]
+		for j, v := range row {
+			orow[j] = d[i] * v
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product a*x. It panics unless
+// len(x) == a.Cols().
+func MulVec(a *Dense, x []float64) []float64 {
+	if len(x) != a.cols {
+		panic(fmt.Sprintf("mat: MulVec length %d, want %d", len(x), a.cols))
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulVecTrans returns aᵀ*x. It panics unless len(x) == a.Rows().
+func MulVecTrans(a *Dense, x []float64) []float64 {
+	if len(x) != a.rows {
+		panic(fmt.Sprintf("mat: MulVecTrans length %d, want %d", len(x), a.rows))
+	}
+	out := make([]float64, a.cols)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, v := range row {
+			out[j] += xi * v
+		}
+	}
+	return out
+}
+
+// HStack returns the column-wise concatenation [a | b | ...]. All operands
+// must have the same number of rows; nil operands are skipped.
+func HStack(ms ...*Dense) *Dense {
+	var kept []*Dense
+	rows := -1
+	cols := 0
+	for _, m := range ms {
+		if m == nil {
+			continue
+		}
+		if rows == -1 {
+			rows = m.rows
+		} else if m.rows != rows {
+			panic(fmt.Sprintf("mat: HStack row mismatch %d vs %d", m.rows, rows))
+		}
+		cols += m.cols
+		kept = append(kept, m)
+	}
+	if rows == -1 {
+		return New(0, 0)
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, m := range kept {
+		for i := 0; i < rows; i++ {
+			copy(out.data[i*cols+off:i*cols+off+m.cols], m.data[i*m.cols:(i+1)*m.cols])
+		}
+		off += m.cols
+	}
+	return out
+}
+
+// VStack returns the row-wise concatenation of the operands. All operands
+// must have the same number of columns; nil operands are skipped.
+func VStack(ms ...*Dense) *Dense {
+	var kept []*Dense
+	cols := -1
+	rows := 0
+	for _, m := range ms {
+		if m == nil {
+			continue
+		}
+		if cols == -1 {
+			cols = m.cols
+		} else if m.cols != cols {
+			panic(fmt.Sprintf("mat: VStack column mismatch %d vs %d", m.cols, cols))
+		}
+		rows += m.rows
+		kept = append(kept, m)
+	}
+	if cols == -1 {
+		return New(0, 0)
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, m := range kept {
+		copy(out.data[off*cols:], m.data)
+		off += m.rows
+	}
+	return out
+}
+
+// EqualApprox reports whether a and b have the same shape and all elements
+// agree within tol.
+func EqualApprox(a, b *Dense, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i, v := range a.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Dot returns the inner product of x and y. It panics on length mismatch.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Nrm2 returns the Euclidean norm of x with overflow-safe scaling.
+func Nrm2(x []float64) float64 {
+	scale, ssq := 0.0, 1.0
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		av := math.Abs(v)
+		if scale < av {
+			r := scale / av
+			ssq = 1 + ssq*r*r
+			scale = av
+		} else {
+			r := av / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Axpy computes y += alpha*x in place. It panics on length mismatch.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}

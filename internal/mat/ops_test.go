@@ -1,0 +1,379 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomDense(r, c int, rng *rand.Rand) *Dense {
+	m := New(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestAddSub(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewFromRows([][]float64{{5, 6}, {7, 8}})
+	if got := Add(a, b); !EqualApprox(got, NewFromRows([][]float64{{6, 8}, {10, 12}}), 0) {
+		t.Fatalf("Add wrong: %v", got)
+	}
+	if got := Sub(b, a); !EqualApprox(got, NewFromRows([][]float64{{4, 4}, {4, 4}}), 0) {
+		t.Fatalf("Sub wrong: %v", got)
+	}
+}
+
+func TestAddDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add dim mismatch did not panic")
+		}
+	}()
+	Add(New(2, 2), New(2, 3))
+}
+
+func TestScale(t *testing.T) {
+	a := NewFromRows([][]float64{{1, -2}})
+	if got := Scale(3, a); !EqualApprox(got, NewFromRows([][]float64{{3, -6}}), 0) {
+		t.Fatalf("Scale wrong: %v", got)
+	}
+	ScaleInPlace(2, a)
+	if a.At(0, 1) != -4 {
+		t.Fatalf("ScaleInPlace wrong: %v", a)
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 1}})
+	b := NewFromRows([][]float64{{2, 3}})
+	if got := AddScaled(a, 2, b); !EqualApprox(got, NewFromRows([][]float64{{5, 7}}), 0) {
+		t.Fatalf("AddScaled wrong: %v", got)
+	}
+}
+
+func TestMulSmall(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewFromRows([][]float64{{5, 6}, {7, 8}})
+	want := NewFromRows([][]float64{{19, 22}, {43, 50}})
+	if got := Mul(a, b); !EqualApprox(got, want, 1e-14) {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDense(7, 5, rng)
+	if !EqualApprox(Mul(a, Eye(5)), a, 1e-14) {
+		t.Fatal("A·I != A")
+	}
+	if !EqualApprox(Mul(Eye(7), a), a, 1e-14) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMulDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mul dim mismatch did not panic")
+		}
+	}()
+	Mul(New(2, 3), New(2, 3))
+}
+
+func TestMulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomDense(4, 6, rng)
+	b := randomDense(6, 3, rng)
+	c := randomDense(3, 5, rng)
+	left := Mul(Mul(a, b), c)
+	right := Mul(a, Mul(b, c))
+	if !EqualApprox(left, right, 1e-12) {
+		t.Fatal("(AB)C != A(BC)")
+	}
+}
+
+func TestMulParallelPathMatchesSerial(t *testing.T) {
+	// Large enough to trigger the goroutine fan-out; compare against the
+	// serial row kernel directly.
+	rng := rand.New(rand.NewSource(3))
+	a := randomDense(150, 120, rng)
+	b := randomDense(120, 140, rng)
+	got := Mul(a, b)
+	want := New(150, 140)
+	mulRows(want, a, b, 0, 150)
+	if !EqualApprox(got, want, 1e-12) {
+		t.Fatal("parallel Mul disagrees with serial kernel")
+	}
+}
+
+func TestMulTransA(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomDense(8, 5, rng)
+	b := randomDense(8, 6, rng)
+	if !EqualApprox(MulTransA(a, b), Mul(a.T(), b), 1e-12) {
+		t.Fatal("MulTransA != Aᵀ·B")
+	}
+}
+
+func TestMulTransALargeParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomDense(130, 110, rng)
+	b := randomDense(130, 90, rng)
+	if !EqualApprox(MulTransA(a, b), Mul(a.T(), b), 1e-11) {
+		t.Fatal("parallel MulTransA != Aᵀ·B")
+	}
+}
+
+func TestMulTransB(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomDense(6, 7, rng)
+	b := randomDense(5, 7, rng)
+	if !EqualApprox(MulTransB(a, b), Mul(a, b.T()), 1e-12) {
+		t.Fatal("MulTransB != A·Bᵀ")
+	}
+}
+
+func TestMulDiagDiagMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomDense(4, 3, rng)
+	d := []float64{2, -1, 0.5}
+	if !EqualApprox(MulDiag(a, d), Mul(a, NewDiag(d)), 1e-14) {
+		t.Fatal("MulDiag != A·diag(d)")
+	}
+	e := []float64{3, 1, -2, 0.25}
+	if !EqualApprox(DiagMul(e, a), Mul(NewDiag(e), a), 1e-14) {
+		t.Fatal("DiagMul != diag(e)·A")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	got := MulVec(a, []float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestMulVecTrans(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	got := MulVecTrans(a, []float64{1, 1})
+	if got[0] != 4 || got[1] != 6 {
+		t.Fatalf("MulVecTrans = %v", got)
+	}
+}
+
+func TestHStack(t *testing.T) {
+	a := NewFromRows([][]float64{{1}, {2}})
+	b := NewFromRows([][]float64{{3, 4}, {5, 6}})
+	got := HStack(a, b)
+	want := NewFromRows([][]float64{{1, 3, 4}, {2, 5, 6}})
+	if !EqualApprox(got, want, 0) {
+		t.Fatalf("HStack = %v, want %v", got, want)
+	}
+}
+
+func TestHStackSkipsNil(t *testing.T) {
+	a := NewFromRows([][]float64{{1}, {2}})
+	got := HStack(nil, a, nil)
+	if !EqualApprox(got, a, 0) {
+		t.Fatalf("HStack with nils = %v", got)
+	}
+}
+
+func TestHStackMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HStack row mismatch did not panic")
+		}
+	}()
+	HStack(New(2, 1), New(3, 1))
+}
+
+func TestVStack(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}})
+	b := NewFromRows([][]float64{{3, 4}, {5, 6}})
+	got := VStack(a, b)
+	want := NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if !EqualApprox(got, want, 0) {
+		t.Fatalf("VStack = %v, want %v", got, want)
+	}
+}
+
+func TestVStackMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("VStack col mismatch did not panic")
+		}
+	}()
+	VStack(New(1, 2), New(1, 3))
+}
+
+func TestDotAxpyNrm2(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if got := Dot(x, y); got != 32 {
+		t.Fatalf("Dot = %g, want 32", got)
+	}
+	if got := Nrm2([]float64{3, 4}); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("Nrm2 = %g, want 5", got)
+	}
+	Axpy(2, x, y)
+	if y[0] != 6 || y[2] != 12 {
+		t.Fatalf("Axpy wrong: %v", y)
+	}
+}
+
+func TestNrm2OverflowSafe(t *testing.T) {
+	got := Nrm2([]float64{1e200, 1e200})
+	want := 1e200 * math.Sqrt(2)
+	if math.Abs(got-want)/want > 1e-14 {
+		t.Fatalf("Nrm2 overflowed: %g", got)
+	}
+}
+
+// Property: matrix multiplication distributes over addition.
+func TestPropertyMulDistributes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 2+r.Intn(6), 2+r.Intn(6), 2+r.Intn(6)
+		a := randomDense(m, k, r)
+		b := randomDense(k, n, r)
+		c := randomDense(k, n, r)
+		left := Mul(a, Add(b, c))
+		right := Add(Mul(a, b), Mul(a, c))
+		return EqualApprox(left, right, 1e-10)
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ.
+func TestPropertyTransposeOfProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 2+r.Intn(6), 2+r.Intn(6), 2+r.Intn(6)
+		a := randomDense(m, k, r)
+		b := randomDense(k, n, r)
+		return EqualApprox(Mul(a, b).T(), Mul(b.T(), a.T()), 1e-10)
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Frobenius norm is invariant under transposition and submultiplicative.
+func TestPropertyNormInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 2+r.Intn(6), 2+r.Intn(6)
+		a := randomDense(m, n, r)
+		b := randomDense(n, m, r)
+		if math.Abs(a.FroNorm()-a.T().FroNorm()) > 1e-12 {
+			return false
+		}
+		return Mul(a, b).FroNorm() <= a.FroNorm()*b.FroNorm()+1e-10
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualApproxShapes(t *testing.T) {
+	if EqualApprox(New(2, 2), New(2, 3), 1) {
+		t.Fatal("EqualApprox must reject different shapes")
+	}
+}
+
+func TestRemainingDimensionMismatchPanics(t *testing.T) {
+	a23 := New(2, 3)
+	a32 := New(3, 2)
+	cases := map[string]func(){
+		"Sub":         func() { Sub(a23, a32) },
+		"AddScaled":   func() { AddScaled(a23, 2, a32) },
+		"MulTransA":   func() { MulTransA(a23, a32) },
+		"MulTransB":   func() { MulTransB(a23, New(2, 4)) },
+		"MulDiag":     func() { MulDiag(a23, []float64{1, 2}) },
+		"DiagMul":     func() { DiagMul([]float64{1, 2, 3}, a23) },
+		"MulVec":      func() { MulVec(a23, []float64{1, 2}) },
+		"MulVecTrans": func() { MulVecTrans(a23, []float64{1, 2, 3}) },
+		"Dot":         func() { Dot([]float64{1}, []float64{1, 2}) },
+		"Axpy":        func() { Axpy(1, []float64{1}, []float64{1, 2}) },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	m := New(2, 3)
+	cases := map[string]func(){
+		"RowView OOB":   func() { m.RowView(2) },
+		"Col OOB":       func() { m.Col(3) },
+		"SetRow length": func() { m.SetRow(0, []float64{1}) },
+		"SetCol length": func() { m.SetCol(0, []float64{1}) },
+		"SetCol OOB":    func() { m.SetCol(5, []float64{1, 2}) },
+		"ColNorm OOB":   func() { m.ColNorm(-1) },
+		"ColMatrix OOB": func() { m.ColMatrix(9) },
+		"Row OOB":       func() { m.Row(-1) },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestEmptyMatrixOperations(t *testing.T) {
+	e := New(0, 0)
+	if !e.IsEmpty() {
+		t.Fatal("0x0 not empty")
+	}
+	if e.FroNorm() != 0 || e.MaxAbs() != 0 {
+		t.Fatal("empty norms nonzero")
+	}
+	et := e.T()
+	if !et.IsEmpty() {
+		t.Fatal("transpose of empty not empty")
+	}
+	if got := Mul(New(0, 3), New(3, 0)); got.Rows() != 0 || got.Cols() != 0 {
+		t.Fatalf("empty product shape %dx%d", got.Rows(), got.Cols())
+	}
+	// 3x0 times 0x2 gives a 3x2 zero matrix.
+	z := Mul(New(3, 0), New(0, 2))
+	if z.Rows() != 3 || z.Cols() != 2 || z.MaxAbs() != 0 {
+		t.Fatalf("3x0 * 0x2 = %v", z)
+	}
+}
+
+func TestDiagOnWideAndTall(t *testing.T) {
+	wide := NewFromRows([][]float64{{1, 2, 3}})
+	if d := wide.Diag(); len(d) != 1 || d[0] != 1 {
+		t.Fatalf("wide diag %v", d)
+	}
+	tall := NewFromRows([][]float64{{1}, {2}})
+	if d := tall.Diag(); len(d) != 1 || d[0] != 1 {
+		t.Fatalf("tall diag %v", d)
+	}
+}

@@ -1,0 +1,225 @@
+package mpi
+
+import (
+	"fmt"
+
+	"goparsvd/internal/mat"
+)
+
+// Collective operations reserve the negative tag space so they can never
+// collide with user point-to-point tags.
+const (
+	tagBcast = -(iota + 1)
+	tagGather
+	tagScatter
+	tagReduce
+	tagAllgather
+)
+
+// BcastFloats broadcasts a slice from root to every rank along a binomial
+// tree (log₂ P rounds, like any production MPI). Root passes the payload;
+// other ranks pass nil. Every rank returns its own copy.
+func (c *Comm) BcastFloats(root int, data []float64) []float64 {
+	m := c.bcastMsg(root, message{tag: tagBcast, data: data, rows: -1})
+	return m.data
+}
+
+// BcastMatrix broadcasts a matrix from root to every rank. Root passes the
+// matrix; other ranks pass nil. Every rank returns its own copy (including
+// root, which gets a clone so later mutation is safe).
+func (c *Comm) BcastMatrix(root int, m *mat.Dense) *mat.Dense {
+	var msg message
+	if c.rank == root {
+		if m == nil {
+			panic("mpi: BcastMatrix root passed nil matrix")
+		}
+		r, cl := m.Dims()
+		msg = message{tag: tagBcast, data: m.RawData(), rows: r, cols: cl}
+	}
+	out := c.bcastMsg(root, msg)
+	return mat.NewFromData(out.rows, out.cols, out.data)
+}
+
+// bcastMsg moves one message down a binomial tree rooted at root. The
+// message payload is copied on every hop by sendMsg.
+func (c *Comm) bcastMsg(root int, m message) message {
+	size := c.world.size
+	if root < 0 || root >= size {
+		panic(fmt.Sprintf("mpi: broadcast root %d out of range", root))
+	}
+	if size == 1 {
+		m.data = append([]float64(nil), m.data...)
+		return m
+	}
+	m.tag = tagBcast
+	rel := (c.rank - root + size) % size
+	received := rel == 0
+	for offset := 1; offset < size; offset *= 2 {
+		switch {
+		case received && rel < offset && rel+offset < size:
+			dst := (root + rel + offset) % size
+			c.sendMsg(dst, m)
+		case !received && rel >= offset && rel < 2*offset:
+			src := (root + rel - offset) % size
+			m = c.recvMsg(src, tagBcast)
+			received = true
+		}
+	}
+	if rel == 0 {
+		m.data = append([]float64(nil), m.data...)
+	}
+	return m
+}
+
+// GatherFloats collects one slice per rank at root. At root the returned
+// slice has Size() entries indexed by rank (root's own contribution
+// included); at other ranks it is nil. This is the linear (root-bottleneck)
+// gather, matching the cost profile of MPI_Gather for large payloads.
+func (c *Comm) GatherFloats(root int, data []float64) [][]float64 {
+	if c.rank != root {
+		c.sendMsg(root, message{tag: tagGather, data: append([]float64(nil), data...), rows: -1})
+		return nil
+	}
+	out := make([][]float64, c.world.size)
+	out[root] = append([]float64(nil), data...)
+	for src := 0; src < c.world.size; src++ {
+		if src == root {
+			continue
+		}
+		m := c.recvMsg(src, tagGather)
+		out[src] = m.data
+	}
+	return out
+}
+
+// GatherMatrix collects one matrix per rank at root; the paper's
+// `comm.gather(wlocal, root=0)`. At root the slice is indexed by rank; at
+// other ranks it is nil.
+func (c *Comm) GatherMatrix(root int, m *mat.Dense) []*mat.Dense {
+	if c.rank != root {
+		c.SendMatrix(root, tagGather, m)
+		return nil
+	}
+	out := make([]*mat.Dense, c.world.size)
+	out[root] = m.Clone()
+	for src := 0; src < c.world.size; src++ {
+		if src == root {
+			continue
+		}
+		msg := c.recvMsg(src, tagGather)
+		out[src] = mat.NewFromData(msg.rows, msg.cols, msg.data)
+	}
+	return out
+}
+
+// AllgatherFloats gives every rank the slice contributed by every other
+// rank, implemented as gather-to-0 plus broadcast of the concatenation.
+func (c *Comm) AllgatherFloats(data []float64) [][]float64 {
+	size := c.world.size
+	gathered := c.GatherFloats(0, data)
+	// Flatten with a length prefix so a single broadcast suffices.
+	var flat []float64
+	if c.rank == 0 {
+		flat = append(flat, float64(size))
+		for _, g := range gathered {
+			flat = append(flat, float64(len(g)))
+		}
+		for _, g := range gathered {
+			flat = append(flat, g...)
+		}
+	}
+	flat = c.BcastFloats(0, flat)
+	n := int(flat[0])
+	lens := make([]int, n)
+	for i := 0; i < n; i++ {
+		lens[i] = int(flat[1+i])
+	}
+	out := make([][]float64, n)
+	off := 1 + n
+	for i := 0; i < n; i++ {
+		out[i] = append([]float64(nil), flat[off:off+lens[i]]...)
+		off += lens[i]
+	}
+	return out
+}
+
+// ScatterMatrixRows splits m at root into contiguous row blocks of the given
+// sizes and delivers block i to rank i. counts must sum to m's row count and
+// have one entry per rank. Non-root ranks pass nil for m.
+func (c *Comm) ScatterMatrixRows(root int, m *mat.Dense, counts []int) *mat.Dense {
+	size := c.world.size
+	if len(counts) != size {
+		panic(fmt.Sprintf("mpi: scatter counts length %d, want %d", len(counts), size))
+	}
+	if c.rank == root {
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		if total != m.Rows() {
+			panic(fmt.Sprintf("mpi: scatter counts sum %d, want %d rows", total, m.Rows()))
+		}
+		off := 0
+		var local *mat.Dense
+		for dst := 0; dst < size; dst++ {
+			block := m.SliceRows(off, off+counts[dst])
+			off += counts[dst]
+			if dst == root {
+				local = block
+				continue
+			}
+			c.SendMatrix(dst, tagScatter, block)
+		}
+		return local
+	}
+	return c.RecvMatrix(root, tagScatter)
+}
+
+// ReduceSum element-wise sums the contributions of all ranks at root. At
+// root the result is returned; other ranks get nil. All contributions must
+// have equal length.
+func (c *Comm) ReduceSum(root int, data []float64) []float64 {
+	if c.rank != root {
+		c.sendMsg(root, message{tag: tagReduce, data: append([]float64(nil), data...), rows: -1})
+		return nil
+	}
+	acc := append([]float64(nil), data...)
+	for src := 0; src < c.world.size; src++ {
+		if src == root {
+			continue
+		}
+		m := c.recvMsg(src, tagReduce)
+		if len(m.data) != len(acc) {
+			panic(fmt.Sprintf("mpi: ReduceSum length mismatch: rank %d sent %d, want %d",
+				src, len(m.data), len(acc)))
+		}
+		for i, v := range m.data {
+			acc[i] += v
+		}
+	}
+	return acc
+}
+
+// AllreduceSum is ReduceSum followed by a broadcast: every rank returns the
+// element-wise sum.
+func (c *Comm) AllreduceSum(data []float64) []float64 {
+	return c.BcastFloats(0, c.ReduceSum(0, data))
+}
+
+// AllreduceMax returns the element-wise maximum across ranks at every rank.
+func (c *Comm) AllreduceMax(data []float64) []float64 {
+	if c.rank != 0 {
+		c.sendMsg(0, message{tag: tagReduce, data: append([]float64(nil), data...), rows: -1})
+		return c.BcastFloats(0, nil)
+	}
+	acc := append([]float64(nil), data...)
+	for src := 1; src < c.world.size; src++ {
+		m := c.recvMsg(src, tagReduce)
+		for i, v := range m.data {
+			if v > acc[i] {
+				acc[i] = v
+			}
+		}
+	}
+	return c.BcastFloats(0, acc)
+}

@@ -1,0 +1,311 @@
+// Package mpi is an in-process message-passing runtime with MPI semantics.
+//
+// It is the substitution for mpi4py in this reproduction of PyParSVD: ranks
+// are goroutines, point-to-point messages travel over per-pair FIFO
+// channels, and the collectives the paper uses (Gather, Bcast, Send/Recv,
+// plus Reduce/Allreduce/Scatter for completeness) are built on top. Every
+// rank's traffic is counted (messages and bytes), which feeds the
+// weak-scaling cost model in internal/scaling.
+//
+// The design goal is that code written against *Comm reads like the MPI
+// calls in the paper's Listings 3 and 4, so the distributed algorithms are
+// a line-by-line correspondence with the published implementation.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"goparsvd/internal/mat"
+)
+
+// message is the unit of point-to-point transfer. Matrices travel as their
+// row-major backing slice plus shape; plain vectors use rows = -1.
+type message struct {
+	tag        int
+	data       []float64
+	rows, cols int
+}
+
+// World owns the communication fabric for one parallel run: the per-pair
+// mailboxes, the shared barrier and the traffic counters.
+type World struct {
+	size int
+	// mail[dst][src] is the FIFO channel for messages from src to dst.
+	mail    [][]chan message
+	barrier *barrier
+	abort   chan struct{}
+	aborted atomic.Bool
+
+	bytesSent atomic.Int64
+	msgsSent  atomic.Int64
+	recvBytes []atomic.Int64 // indexed by receiving rank
+}
+
+// Stats summarizes the traffic of a completed parallel run.
+type Stats struct {
+	Ranks    int
+	Messages int64
+	Bytes    int64
+	// RecvBytes[r] is the number of payload bytes delivered to rank r. It
+	// exposes incast hot spots (e.g. the root of a gather) that the global
+	// totals hide.
+	RecvBytes []int64
+}
+
+// Comm is one rank's handle on the World. All methods are called from that
+// rank's goroutine only.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// mailboxCap is the per-pair channel buffer. Senders beyond it block, which
+// mirrors MPI's rendezvous protocol for large messages.
+const mailboxCap = 8
+
+// NewWorld creates a communication fabric for size ranks. Most callers
+// should use Run instead.
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic(fmt.Sprintf("mpi: world size %d < 1", size))
+	}
+	w := &World{
+		size:      size,
+		mail:      make([][]chan message, size),
+		barrier:   newBarrier(size),
+		abort:     make(chan struct{}),
+		recvBytes: make([]atomic.Int64, size),
+	}
+	for dst := 0; dst < size; dst++ {
+		w.mail[dst] = make([]chan message, size)
+		for src := 0; src < size; src++ {
+			w.mail[dst][src] = make(chan message, mailboxCap)
+		}
+	}
+	return w
+}
+
+// Comm returns the communicator handle for the given rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, w.size))
+	}
+	return &Comm{world: w, rank: rank}
+}
+
+// Stats returns the aggregate traffic counters.
+func (w *World) Stats() Stats {
+	rb := make([]int64, w.size)
+	for r := range rb {
+		rb[r] = w.recvBytes[r].Load()
+	}
+	return Stats{Ranks: w.size, Messages: w.msgsSent.Load(), Bytes: w.bytesSent.Load(), RecvBytes: rb}
+}
+
+// doAbort tears down the world after a rank panic so that peers blocked in
+// Send/Recv/Barrier unblock (and themselves panic with errAborted).
+func (w *World) doAbort() {
+	if w.aborted.CompareAndSwap(false, true) {
+		close(w.abort)
+		w.barrier.abort()
+	}
+}
+
+// errAborted is the panic value raised in ranks that were blocked on
+// communication when another rank failed.
+type abortError struct{}
+
+func (abortError) Error() string { return "mpi: aborted because a peer rank panicked" }
+
+// RankError reports a panic that occurred inside a rank function during Run.
+type RankError struct {
+	Rank  int
+	Value any
+}
+
+// Error formats the rank number and the original panic value.
+func (e *RankError) Error() string {
+	return fmt.Sprintf("mpi: rank %d panicked: %v", e.Rank, e.Value)
+}
+
+// Run executes fn concurrently on size ranks and waits for all of them. It
+// returns the traffic statistics of the run. If any rank panics, the world
+// is aborted (unblocking the other ranks) and the first panic is returned as
+// a *RankError.
+func Run(size int, fn func(c *Comm)) (Stats, error) {
+	w := NewWorld(size)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr *RankError
+	)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					if _, isAbort := v.(abortError); !isAbort {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = &RankError{Rank: rank, Value: v}
+						}
+						mu.Unlock()
+					}
+					w.doAbort()
+				}
+			}()
+			fn(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return w.Stats(), firstErr
+	}
+	return w.Stats(), nil
+}
+
+// MustRun is Run for callers that treat a rank panic as fatal (tests,
+// examples, benchmarks). It re-panics with the rank error.
+func MustRun(size int, fn func(c *Comm)) Stats {
+	stats, err := Run(size, fn)
+	if err != nil {
+		panic(err)
+	}
+	return stats
+}
+
+// Rank returns this communicator's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send transmits a float64 slice to rank dst with the given tag. The data is
+// copied, so the caller may reuse the slice immediately.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	c.sendMsg(dst, message{tag: tag, data: data, rows: -1})
+}
+
+// Recv receives a float64 slice from rank src with the given tag. Receiving
+// a message whose tag does not match panics: per-pair channels are FIFO, so
+// a mismatch is always a protocol bug.
+func (c *Comm) Recv(src, tag int) []float64 {
+	m := c.recvMsg(src, tag)
+	if m.rows != -1 {
+		panic(fmt.Sprintf("mpi: rank %d expected vector from %d tag %d, got %dx%d matrix",
+			c.rank, src, tag, m.rows, m.cols))
+	}
+	return m.data
+}
+
+// SendMatrix transmits a matrix to rank dst. The contents are copied.
+func (c *Comm) SendMatrix(dst, tag int, m *mat.Dense) {
+	r, cols := m.Dims()
+	c.sendMsg(dst, message{tag: tag, data: m.RawData(), rows: r, cols: cols})
+}
+
+// RecvMatrix receives a matrix from rank src with the given tag.
+func (c *Comm) RecvMatrix(src, tag int) *mat.Dense {
+	m := c.recvMsg(src, tag)
+	if m.rows < 0 {
+		panic(fmt.Sprintf("mpi: rank %d expected matrix from %d tag %d, got vector",
+			c.rank, src, tag))
+	}
+	return mat.NewFromData(m.rows, m.cols, m.data)
+}
+
+// sendMsg enqueues a message for dst, copying the payload so the sender's
+// buffer (and any downstream receiver's view) can never alias in-flight or
+// delivered data. Copy-on-send is centralized here so relayed collective
+// hops (broadcast trees) are safe too.
+func (c *Comm) sendMsg(dst int, m message) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	if dst == c.rank {
+		panic("mpi: send to self is not supported; collectives handle the local contribution directly")
+	}
+	m.data = append([]float64(nil), m.data...)
+	c.world.msgsSent.Add(1)
+	c.world.bytesSent.Add(int64(8 * len(m.data)))
+	select {
+	case c.world.mail[dst][c.rank] <- m:
+	case <-c.world.abort:
+		panic(abortError{})
+	}
+}
+
+func (c *Comm) recvMsg(src, tag int) message {
+	if src < 0 || src >= c.world.size {
+		panic(fmt.Sprintf("mpi: recv from invalid rank %d", src))
+	}
+	if src == c.rank {
+		panic("mpi: recv from self is not supported")
+	}
+	select {
+	case m := <-c.world.mail[c.rank][src]:
+		if m.tag != tag {
+			panic(fmt.Sprintf("mpi: rank %d expected tag %d from rank %d, got %d",
+				c.rank, tag, src, m.tag))
+		}
+		c.world.recvBytes[c.rank].Add(int64(8 * len(m.data)))
+		return m
+	case <-c.world.abort:
+		panic(abortError{})
+	}
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	if !c.world.barrier.await() {
+		panic(abortError{})
+	}
+}
+
+// barrier is a reusable counting barrier with abort support.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	count   int
+	gen     int
+	stopped bool
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all ranks arrive; it returns false if the barrier was
+// aborted while waiting.
+func (b *barrier) await() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stopped {
+		return false
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return true
+	}
+	for gen == b.gen && !b.stopped {
+		b.cond.Wait()
+	}
+	return !b.stopped
+}
+
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.stopped = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,70 @@
+package ncio
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// benchFile builds a file with nt full lat-lon planes for slab benchmarks.
+func benchFile(b *testing.B, nt, nlat, nlon int) *File {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "bench.gnc")
+	w, err := Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.DefineDim("time", int64(nt)); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.DefineDim("lat", int64(nlat)); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.DefineDim("lon", int64(nlon)); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.DefineVar("v", []string{"time", "lat", "lon"}, nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.EndDef(); err != nil {
+		b.Fatal(err)
+	}
+	data := make([]float64, nt*nlat*nlon)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	if err := w.WriteVar("v", data); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { f.Close() })
+	return f
+}
+
+func BenchmarkReadSlabContiguousPlanes(b *testing.B) {
+	f := benchFile(b, 64, 73, 144)
+	b.SetBytes(int64(8 * 8 * 73 * 144))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ReadSlab("v", []int64{int64(i % 56), 0, 0}, []int64{8, 73, 144}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadSlabStridedBand(b *testing.B) {
+	// A latitude band is strided: one run per time step.
+	f := benchFile(b, 64, 73, 144)
+	b.SetBytes(int64(8 * 64 * 18 * 144))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ReadSlab("v", []int64{0, 18, 0}, []int64{64, 18, 144}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

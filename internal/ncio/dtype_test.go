@@ -1,0 +1,248 @@
+package ncio
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFloat32RoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f32.gnc")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineDim("x", 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineVarTyped("v", Float32, []string{"x"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EndDef(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, -2.25, 0, 1e10, -1e-10, 3.14159265358979}
+	if err := w.WriteVar("v", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	v, _ := f.Var("v")
+	if v.DType != Float32 {
+		t.Fatalf("dtype = %v, want float32", v.DType)
+	}
+	got, err := f.ReadVar("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		// Values survive at single precision.
+		if math.Abs(got[i]-float64(float32(want[i]))) > 0 {
+			t.Fatalf("element %d: %g, want %g", i, got[i], float64(float32(want[i])))
+		}
+	}
+}
+
+func TestFloat32HalvesPayload(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, dtype DType) int64 {
+		path := filepath.Join(dir, name)
+		w, err := Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.DefineDim("x", 1000); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.DefineVarTyped("v", dtype, []string{"x"}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.EndDef(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteVar("v", make([]float64, 1000)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return info.Size()
+	}
+	s64 := write("a.gnc", Float64)
+	s32 := write("b.gnc", Float32)
+	if s64-s32 != 4000 {
+		t.Fatalf("float32 should save 4000 bytes, saved %d", s64-s32)
+	}
+}
+
+func TestFloat32SlabReads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f32.gnc")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineDim("r", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineDim("c", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineVarTyped("v", Float32, []string{"r", "c"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EndDef(); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float64, 20)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	if err := w.WriteVar("v", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := f.ReadSlab("v", []int64{1, 2}, []int64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{7, 8, 9, 12, 13, 14}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slab[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMixedDTypesInOneFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mixed.gnc")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineDim("x", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineVarTyped("coarse", Float32, []string{"x"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineVar("fine", []string{"x"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EndDef(); err != nil {
+		t.Fatal(err)
+	}
+	// A value that float32 cannot hold exactly.
+	precise := []float64{1.0 + 1e-12, 2, 3}
+	if err := w.WriteVar("coarse", precise); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteVar("fine", precise); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	coarse, _ := f.ReadVar("coarse")
+	fine, _ := f.ReadVar("fine")
+	if fine[0] != precise[0] {
+		t.Fatal("float64 variable lost precision")
+	}
+	if coarse[0] == precise[0] {
+		t.Fatal("float32 variable kept float64 precision — dtype not applied")
+	}
+}
+
+func TestUnsupportedDTypeRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.gnc")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.DefineDim("x", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineVarTyped("v", DType(99), []string{"x"}, nil); err == nil {
+		t.Fatal("dtype 99 accepted")
+	}
+}
+
+// TestReadsLegacyV1Files hand-crafts a GNC1 file (the pre-dtype layout,
+// implicitly float64) and checks the reader still understands it.
+func TestReadsLegacyV1Files(t *testing.T) {
+	var header []byte
+	appendU32 := func(v uint32) { header = binary.LittleEndian.AppendUint32(header, v) }
+	appendI64 := func(v int64) { header = binary.LittleEndian.AppendUint64(header, uint64(v)) }
+	appendStr := func(s string) { appendU32(uint32(len(s))); header = append(header, s...) }
+
+	// One dimension "x" of size 3, one variable "v" over it, no attrs.
+	appendU32(1)
+	appendStr("x")
+	appendI64(3)
+	appendU32(1)
+	appendStr("v")
+	appendU32(1) // ndims
+	appendU32(0) // dim index
+	appendU32(0) // nattrs
+	// v1 layout: offset and size follow immediately (no dtype byte). The
+	// payload starts after magic(4) + headerLen(8) + header, where the
+	// header still needs these two int64s plus the global-attr count.
+	offset := int64(4 + 8 + len(header) + 8 + 8 + 4)
+	appendI64(offset)
+	appendI64(3)
+	appendU32(0) // global attrs
+
+	var file []byte
+	file = append(file, 'G', 'N', 'C', '1')
+	file = binary.LittleEndian.AppendUint64(file, uint64(len(header)))
+	file = append(file, header...)
+	for _, v := range []float64{1.5, 2.5, 3.5} {
+		file = binary.LittleEndian.AppendUint64(file, math.Float64bits(v))
+	}
+
+	path := filepath.Join(t.TempDir(), "legacy.gnc")
+	if err := os.WriteFile(path, file, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	v, ok := f.Var("v")
+	if !ok || v.DType != Float64 {
+		t.Fatalf("legacy var: %+v, ok=%v", v, ok)
+	}
+	got, err := f.ReadVar("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1.5 || got[2] != 3.5 {
+		t.Fatalf("legacy payload = %v", got)
+	}
+}

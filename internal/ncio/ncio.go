@@ -1,0 +1,712 @@
+// Package ncio implements GNC, a small self-describing binary container
+// for gridded float64 data with named dimensions, variables and string
+// attributes — the stand-in for the NetCDF4 files PyParSVD reads with
+// parallel I/O in its ERA5 experiment (paper §4.3).
+//
+// The on-disk layout is:
+//
+//	bytes 0..3   magic "GNC1"
+//	bytes 4..11  uint64 header length H (little endian)
+//	bytes 12..12+H-1 header: dimensions, variables (with absolute data
+//	             offsets), attributes
+//	...          variable payloads, float64 little endian, row-major in
+//	             definition-time dimension order
+//
+// The property that matters for the reproduction is the access pattern:
+// every MPI rank opens the same file and reads its own hyperslab with
+// positioned reads (os.File.ReadAt), which are safe to issue concurrently —
+// the same independent-parallel-read model as NetCDF4/HDF5 without
+// collective buffering.
+package ncio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+)
+
+// magicV2 is the current on-disk magic; magicV1 files (no per-variable
+// dtype byte, implicitly float64) remain readable.
+var (
+	magicV1 = [4]byte{'G', 'N', 'C', '1'}
+	magicV2 = [4]byte{'G', 'N', 'C', '2'}
+)
+
+// ErrNotGNC is returned when opening a file that does not start with the
+// GNC magic.
+var ErrNotGNC = errors.New("ncio: not a GNC file")
+
+// DType identifies a variable's on-disk element type. The in-memory API
+// always exchanges float64 slices; Float32 storage halves the file size at
+// single precision (the native ERA5/GRIB representation).
+type DType uint8
+
+// Supported element types.
+const (
+	Float64 DType = iota
+	Float32
+)
+
+func (d DType) elemSize() int64 {
+	switch d {
+	case Float64:
+		return 8
+	case Float32:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// String names the dtype for display (gncinfo).
+func (d DType) String() string {
+	switch d {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	default:
+		return fmt.Sprintf("dtype(%d)", uint8(d))
+	}
+}
+
+// Dim is a named dimension.
+type Dim struct {
+	Name string
+	Size int64
+}
+
+// Var describes a variable: its dimension names (outermost first), its
+// on-disk element type and string attributes. The API always exchanges
+// float64 values regardless of DType.
+type Var struct {
+	Name   string
+	Dims   []string
+	DType  DType
+	Attrs  map[string]string
+	offset int64 // absolute file offset of the payload
+	size   int64 // number of elements
+}
+
+// Size returns the number of elements in the variable.
+func (v *Var) Size() int64 { return v.size }
+
+// Writer builds a GNC file: define dimensions and variables, call EndDef,
+// then write payloads in any order.
+type Writer struct {
+	f        *os.File
+	dims     []Dim
+	dimIndex map[string]int
+	vars     []*Var
+	varIndex map[string]int
+	attrs    map[string]string
+	defined  bool
+}
+
+// Create opens path for writing and returns an empty Writer in define mode.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("ncio: create: %w", err)
+	}
+	return &Writer{
+		f:        f,
+		dimIndex: make(map[string]int),
+		varIndex: make(map[string]int),
+		attrs:    make(map[string]string),
+	}, nil
+}
+
+// DefineDim registers a dimension. It must be called before EndDef.
+func (w *Writer) DefineDim(name string, size int64) error {
+	if w.defined {
+		return errors.New("ncio: DefineDim after EndDef")
+	}
+	if name == "" || size < 1 {
+		return fmt.Errorf("ncio: invalid dimension %q size %d", name, size)
+	}
+	if _, dup := w.dimIndex[name]; dup {
+		return fmt.Errorf("ncio: duplicate dimension %q", name)
+	}
+	w.dimIndex[name] = len(w.dims)
+	w.dims = append(w.dims, Dim{Name: name, Size: size})
+	return nil
+}
+
+// DefineVar registers a float64 variable over previously defined
+// dimensions (outermost first).
+func (w *Writer) DefineVar(name string, dims []string, attrs map[string]string) error {
+	return w.DefineVarTyped(name, Float64, dims, attrs)
+}
+
+// DefineVarTyped registers a variable with an explicit on-disk element
+// type. Float32 storage halves the payload at single precision.
+func (w *Writer) DefineVarTyped(name string, dtype DType, dims []string, attrs map[string]string) error {
+	if w.defined {
+		return errors.New("ncio: DefineVar after EndDef")
+	}
+	if name == "" {
+		return errors.New("ncio: empty variable name")
+	}
+	if _, dup := w.varIndex[name]; dup {
+		return fmt.Errorf("ncio: duplicate variable %q", name)
+	}
+	size := int64(1)
+	for _, d := range dims {
+		idx, ok := w.dimIndex[d]
+		if !ok {
+			return fmt.Errorf("ncio: variable %q references undefined dimension %q", name, d)
+		}
+		size *= w.dims[idx].Size
+	}
+	if dtype.elemSize() == 0 {
+		return fmt.Errorf("ncio: variable %q has unsupported dtype %d", name, dtype)
+	}
+	v := &Var{Name: name, Dims: append([]string(nil), dims...), DType: dtype, size: size,
+		Attrs: make(map[string]string)}
+	for k, val := range attrs {
+		v.Attrs[k] = val
+	}
+	w.varIndex[name] = len(w.vars)
+	w.vars = append(w.vars, v)
+	return nil
+}
+
+// SetGlobalAttr records a file-level attribute. Must precede EndDef.
+func (w *Writer) SetGlobalAttr(key, value string) error {
+	if w.defined {
+		return errors.New("ncio: SetGlobalAttr after EndDef")
+	}
+	w.attrs[key] = value
+	return nil
+}
+
+// EndDef freezes the schema, computes payload offsets and writes the
+// header. After EndDef the payload may be written with WriteVar/WriteSlab.
+func (w *Writer) EndDef() error {
+	if w.defined {
+		return errors.New("ncio: EndDef called twice")
+	}
+	header := w.encodeHeader(0) // first pass to learn the header size
+	dataStart := int64(len(magicV2)) + 8 + int64(len(header))
+	off := dataStart
+	for _, v := range w.vars {
+		v.offset = off
+		off += v.DType.elemSize() * v.size
+	}
+	header = w.encodeHeader(dataStart)
+	if len(header)+len(magicV2)+8 != int(dataStart) {
+		return errors.New("ncio: internal error: header size changed between passes")
+	}
+	if _, err := w.f.WriteAt(magicV2[:], 0); err != nil {
+		return fmt.Errorf("ncio: write magic: %w", err)
+	}
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(header)))
+	if _, err := w.f.WriteAt(lenBuf[:], int64(len(magicV2))); err != nil {
+		return fmt.Errorf("ncio: write header length: %w", err)
+	}
+	if _, err := w.f.WriteAt(header, int64(len(magicV2))+8); err != nil {
+		return fmt.Errorf("ncio: write header: %w", err)
+	}
+	// Pre-extend the file so concurrent slab writes never race on size.
+	if off > dataStart {
+		if err := w.f.Truncate(off); err != nil {
+			return fmt.Errorf("ncio: extend: %w", err)
+		}
+	}
+	w.defined = true
+	return nil
+}
+
+// encodeHeader serializes the schema. Offsets are written relative to the
+// file start; dataStart is only used to make the two passes identical in
+// length (offsets are fixed-width).
+func (w *Writer) encodeHeader(dataStart int64) []byte {
+	var b []byte
+	b = appendUint32(b, uint32(len(w.dims)))
+	for _, d := range w.dims {
+		b = appendString(b, d.Name)
+		b = appendInt64(b, d.Size)
+	}
+	b = appendUint32(b, uint32(len(w.vars)))
+	for _, v := range w.vars {
+		b = appendString(b, v.Name)
+		b = appendUint32(b, uint32(len(v.Dims)))
+		for _, d := range v.Dims {
+			b = appendUint32(b, uint32(w.dimIndex[d]))
+		}
+		b = appendUint32(b, uint32(len(v.Attrs)))
+		for _, k := range sortedKeys(v.Attrs) {
+			b = appendString(b, k)
+			b = appendString(b, v.Attrs[k])
+		}
+		b = append(b, byte(v.DType))
+		b = appendInt64(b, v.offset)
+		b = appendInt64(b, v.size)
+	}
+	b = appendUint32(b, uint32(len(w.attrs)))
+	for _, k := range sortedKeys(w.attrs) {
+		b = appendString(b, k)
+		b = appendString(b, w.attrs[k])
+	}
+	_ = dataStart
+	return b
+}
+
+// WriteVar writes the full payload of a variable.
+func (w *Writer) WriteVar(name string, data []float64) error {
+	if !w.defined {
+		return errors.New("ncio: WriteVar before EndDef")
+	}
+	v, err := w.lookup(name)
+	if err != nil {
+		return err
+	}
+	if int64(len(data)) != v.size {
+		return fmt.Errorf("ncio: variable %q payload %d elements, want %d",
+			name, len(data), v.size)
+	}
+	return writeValuesAt(w.f, v.DType, v.offset, data)
+}
+
+// WriteSlab writes a hyperslab of a variable: offsets and counts give, per
+// dimension, the start index and extent. Safe for concurrent use by
+// multiple goroutines writing disjoint slabs.
+func (w *Writer) WriteSlab(name string, offsets, counts []int64, data []float64) error {
+	if !w.defined {
+		return errors.New("ncio: WriteSlab before EndDef")
+	}
+	v, err := w.lookup(name)
+	if err != nil {
+		return err
+	}
+	runs, total, err := slabRuns(w.dimSizes(v), offsets, counts)
+	if err != nil {
+		return fmt.Errorf("ncio: variable %q: %w", name, err)
+	}
+	if int64(len(data)) != total {
+		return fmt.Errorf("ncio: slab payload %d elements, want %d", len(data), total)
+	}
+	pos := int64(0)
+	es := v.DType.elemSize()
+	for _, run := range runs {
+		if err := writeValuesAt(w.f, v.DType, v.offset+es*run.start, data[pos:pos+run.length]); err != nil {
+			return err
+		}
+		pos += run.length
+	}
+	return nil
+}
+
+// Close flushes and closes the file. Closing before EndDef discards a
+// well-formed file (only a partial header may exist).
+func (w *Writer) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("ncio: sync: %w", err)
+	}
+	return w.f.Close()
+}
+
+func (w *Writer) lookup(name string) (*Var, error) {
+	idx, ok := w.varIndex[name]
+	if !ok {
+		return nil, fmt.Errorf("ncio: unknown variable %q", name)
+	}
+	return w.vars[idx], nil
+}
+
+func (w *Writer) dimSizes(v *Var) []int64 {
+	sizes := make([]int64, len(v.Dims))
+	for i, d := range v.Dims {
+		sizes[i] = w.dims[w.dimIndex[d]].Size
+	}
+	return sizes
+}
+
+// File is a GNC reader. ReadSlab and ReadVar are safe for concurrent use:
+// all reads are positioned (pread).
+type File struct {
+	f        *os.File
+	dims     []Dim
+	dimIndex map[string]int
+	vars     []*Var
+	varIndex map[string]int
+	attrs    map[string]string
+}
+
+// Open reads the header of a GNC file.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ncio: open: %w", err)
+	}
+	r := &File{
+		f:        f,
+		dimIndex: make(map[string]int),
+		varIndex: make(map[string]int),
+		attrs:    make(map[string]string),
+	}
+	if err := r.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *File) readHeader() error {
+	var head [12]byte
+	if _, err := r.f.ReadAt(head[:], 0); err != nil {
+		return fmt.Errorf("ncio: read magic: %w", err)
+	}
+	var version int
+	switch [4]byte(head[:4]) {
+	case magicV1:
+		version = 1
+	case magicV2:
+		version = 2
+	default:
+		return ErrNotGNC
+	}
+	hlen := binary.LittleEndian.Uint64(head[4:12])
+	if hlen > 1<<30 {
+		return fmt.Errorf("ncio: implausible header length %d", hlen)
+	}
+	buf := make([]byte, hlen)
+	if _, err := r.f.ReadAt(buf, 12); err != nil {
+		return fmt.Errorf("ncio: read header: %w", err)
+	}
+	d := &decoder{buf: buf}
+
+	nDims := d.uint32()
+	for i := uint32(0); i < nDims; i++ {
+		name := d.string()
+		size := d.int64()
+		r.dimIndex[name] = len(r.dims)
+		r.dims = append(r.dims, Dim{Name: name, Size: size})
+	}
+	nVars := d.uint32()
+	for i := uint32(0); i < nVars; i++ {
+		v := &Var{Attrs: make(map[string]string)}
+		v.Name = d.string()
+		nd := d.uint32()
+		for k := uint32(0); k < nd; k++ {
+			idx := d.uint32()
+			if int(idx) >= len(r.dims) {
+				return fmt.Errorf("ncio: variable %q references dimension %d of %d",
+					v.Name, idx, len(r.dims))
+			}
+			v.Dims = append(v.Dims, r.dims[idx].Name)
+		}
+		na := d.uint32()
+		for k := uint32(0); k < na; k++ {
+			key := d.string()
+			v.Attrs[key] = d.string()
+		}
+		if version >= 2 {
+			v.DType = DType(d.byte())
+			if v.DType.elemSize() == 0 && d.err == nil {
+				return fmt.Errorf("ncio: variable %q has unsupported dtype %d", v.Name, v.DType)
+			}
+		}
+		v.offset = d.int64()
+		v.size = d.int64()
+		r.varIndex[v.Name] = len(r.vars)
+		r.vars = append(r.vars, v)
+	}
+	nAttrs := d.uint32()
+	for i := uint32(0); i < nAttrs; i++ {
+		key := d.string()
+		r.attrs[key] = d.string()
+	}
+	if d.err != nil {
+		return fmt.Errorf("ncio: corrupt header: %w", d.err)
+	}
+	return nil
+}
+
+// Dims returns the file's dimensions in definition order.
+func (r *File) Dims() []Dim { return append([]Dim(nil), r.dims...) }
+
+// Dim returns a dimension by name.
+func (r *File) Dim(name string) (Dim, bool) {
+	idx, ok := r.dimIndex[name]
+	if !ok {
+		return Dim{}, false
+	}
+	return r.dims[idx], true
+}
+
+// Vars returns the names of all variables in definition order.
+func (r *File) Vars() []string {
+	out := make([]string, len(r.vars))
+	for i, v := range r.vars {
+		out[i] = v.Name
+	}
+	return out
+}
+
+// Var returns variable metadata by name.
+func (r *File) Var(name string) (*Var, bool) {
+	idx, ok := r.varIndex[name]
+	if !ok {
+		return nil, false
+	}
+	return r.vars[idx], true
+}
+
+// GlobalAttr returns a file-level attribute.
+func (r *File) GlobalAttr(key string) (string, bool) {
+	v, ok := r.attrs[key]
+	return v, ok
+}
+
+// GlobalAttrs returns a copy of all file-level attributes.
+func (r *File) GlobalAttrs() map[string]string {
+	out := make(map[string]string, len(r.attrs))
+	for k, v := range r.attrs {
+		out[k] = v
+	}
+	return out
+}
+
+// ReadVar reads a variable's full payload.
+func (r *File) ReadVar(name string) ([]float64, error) {
+	v, ok := r.Var(name)
+	if !ok {
+		return nil, fmt.Errorf("ncio: unknown variable %q", name)
+	}
+	out := make([]float64, v.size)
+	if err := readValuesAt(r.f, v.DType, v.offset, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadSlab reads a hyperslab: offsets[i] and counts[i] give the start and
+// extent along dimension i of the variable. The result is row-major in the
+// slab's own shape. Safe to call concurrently from many goroutines — this
+// is the "every rank reads its own slab" pattern of the paper's
+// NetCDF4-based pipeline.
+func (r *File) ReadSlab(name string, offsets, counts []int64) ([]float64, error) {
+	v, ok := r.Var(name)
+	if !ok {
+		return nil, fmt.Errorf("ncio: unknown variable %q", name)
+	}
+	sizes := make([]int64, len(v.Dims))
+	for i, d := range v.Dims {
+		sizes[i] = r.dims[r.dimIndex[d]].Size
+	}
+	runs, total, err := slabRuns(sizes, offsets, counts)
+	if err != nil {
+		return nil, fmt.Errorf("ncio: variable %q: %w", name, err)
+	}
+	out := make([]float64, total)
+	pos := int64(0)
+	es := v.DType.elemSize()
+	for _, run := range runs {
+		if err := readValuesAt(r.f, v.DType, v.offset+es*run.start, out[pos:pos+run.length]); err != nil {
+			return nil, err
+		}
+		pos += run.length
+	}
+	return out, nil
+}
+
+// Close closes the underlying file.
+func (r *File) Close() error { return r.f.Close() }
+
+// run is a contiguous element range within a variable's payload.
+type run struct{ start, length int64 }
+
+// slabRuns decomposes a hyperslab into maximal contiguous element runs.
+func slabRuns(sizes, offsets, counts []int64) ([]run, int64, error) {
+	nd := len(sizes)
+	if len(offsets) != nd || len(counts) != nd {
+		return nil, 0, fmt.Errorf("slab rank mismatch: var has %d dims, got %d offsets / %d counts",
+			nd, len(offsets), len(counts))
+	}
+	total := int64(1)
+	for i := 0; i < nd; i++ {
+		if offsets[i] < 0 || counts[i] < 0 || offsets[i]+counts[i] > sizes[i] {
+			return nil, 0, fmt.Errorf("slab [%d:+%d] out of bounds for dimension size %d",
+				offsets[i], counts[i], sizes[i])
+		}
+		total *= counts[i]
+	}
+	if nd == 0 {
+		return []run{{0, 1}}, 1, nil
+	}
+	if total == 0 {
+		return nil, 0, nil
+	}
+	// strides[i]: elements per step along dimension i.
+	strides := make([]int64, nd)
+	strides[nd-1] = 1
+	for i := nd - 2; i >= 0; i-- {
+		strides[i] = strides[i+1] * sizes[i+1]
+	}
+	// Find the outermost dimension d such that every dimension inside it is
+	// selected in full; a single index step along d is then contiguous, so
+	// each run spans counts[d]·strides[d] elements and the runs iterate
+	// over the (partial) outer dimensions [0, d).
+	d := nd - 1
+	for d > 0 && counts[d] == sizes[d] && offsets[d] == 0 {
+		d--
+	}
+	runLen := counts[d] * strides[d]
+
+	// Iterate the odometer over dimensions [0, d).
+	var runs []run
+	idx := make([]int64, d)
+	for {
+		start := offsets[d] * strides[d]
+		for i := 0; i < d; i++ {
+			start += (offsets[i] + idx[i]) * strides[i]
+		}
+		runs = append(runs, run{start: start, length: runLen})
+		// Advance the odometer.
+		i := d - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < counts[i] {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return runs, total, nil
+}
+
+// writeValuesAt writes data little-endian at the given byte offset,
+// narrowing to float32 when the variable is stored at single precision.
+func writeValuesAt(f *os.File, dtype DType, off int64, data []float64) error {
+	es := int(dtype.elemSize())
+	buf := make([]byte, es*len(data))
+	switch dtype {
+	case Float64:
+		for i, v := range data {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+	case Float32:
+		for i, v := range data {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(float32(v)))
+		}
+	default:
+		return fmt.Errorf("ncio: unsupported dtype %d", dtype)
+	}
+	if _, err := f.WriteAt(buf, off); err != nil {
+		return fmt.Errorf("ncio: write at %d: %w", off, err)
+	}
+	return nil
+}
+
+// readValuesAt fills out with values from the byte offset, widening
+// float32 storage to float64.
+func readValuesAt(f *os.File, dtype DType, off int64, out []float64) error {
+	es := int(dtype.elemSize())
+	buf := make([]byte, es*len(out))
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return fmt.Errorf("ncio: read at %d: %w", off, err)
+	}
+	switch dtype {
+	case Float64:
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+	case Float32:
+		for i := range out {
+			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:])))
+		}
+	default:
+		return fmt.Errorf("ncio: unsupported dtype %d", dtype)
+	}
+	return nil
+}
+
+func appendUint32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendInt64(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// decoder walks the header buffer with saturating error handling.
+type decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.pos+n > len(d.buf) {
+		d.err = fmt.Errorf("truncated at byte %d (need %d of %d)", d.pos, n, len(d.buf))
+		return false
+	}
+	return true
+}
+
+func (d *decoder) uint32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v
+}
+
+func (d *decoder) int64() int64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(d.buf[d.pos:]))
+	d.pos += 8
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if !d.need(1) {
+		return 0
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *decoder) string() string {
+	n := int(d.uint32())
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.buf[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}

@@ -1,0 +1,526 @@
+package ncio
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// writeTestFile creates a GNC file with a time×lat×lon pressure variable
+// filled with a deterministic pattern, and a 1-D coordinate variable.
+func writeTestFile(t *testing.T, path string, nt, nlat, nlon int) []float64 {
+	t.Helper()
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.DefineDim("time", int64(nt)))
+	must(w.DefineDim("lat", int64(nlat)))
+	must(w.DefineDim("lon", int64(nlon)))
+	must(w.DefineVar("pressure", []string{"time", "lat", "lon"},
+		map[string]string{"units": "hPa", "long_name": "surface pressure"}))
+	must(w.DefineVar("lat", []string{"lat"}, nil))
+	must(w.SetGlobalAttr("source", "goparsvd test"))
+	must(w.SetGlobalAttr("history", "created by ncio_test"))
+	must(w.EndDef())
+
+	data := make([]float64, nt*nlat*nlon)
+	for i := range data {
+		data[i] = float64(i) * 0.5
+	}
+	must(w.WriteVar("pressure", data))
+	lat := make([]float64, nlat)
+	for i := range lat {
+		lat[i] = float64(i) * 2.5
+	}
+	must(w.WriteVar("lat", lat))
+	must(w.Close())
+	return data
+}
+
+func TestRoundTripFullVariable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gnc")
+	want := writeTestFile(t, path, 4, 3, 5)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := f.ReadVar("pressure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d elements, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: %g != %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMetadataRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gnc")
+	writeTestFile(t, path, 4, 3, 5)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	dims := f.Dims()
+	if len(dims) != 3 || dims[0].Name != "time" || dims[0].Size != 4 ||
+		dims[1].Name != "lat" || dims[1].Size != 3 || dims[2].Name != "lon" || dims[2].Size != 5 {
+		t.Fatalf("dims = %+v", dims)
+	}
+	if d, ok := f.Dim("lat"); !ok || d.Size != 3 {
+		t.Fatalf("Dim(lat) = %+v, %v", d, ok)
+	}
+	if _, ok := f.Dim("missing"); ok {
+		t.Fatal("Dim(missing) should not exist")
+	}
+	vars := f.Vars()
+	if len(vars) != 2 || vars[0] != "pressure" || vars[1] != "lat" {
+		t.Fatalf("vars = %v", vars)
+	}
+	v, ok := f.Var("pressure")
+	if !ok {
+		t.Fatal("Var(pressure) missing")
+	}
+	if v.Attrs["units"] != "hPa" || v.Attrs["long_name"] != "surface pressure" {
+		t.Fatalf("attrs = %v", v.Attrs)
+	}
+	if v.Size() != 4*3*5 {
+		t.Fatalf("size = %d", v.Size())
+	}
+	if len(v.Dims) != 3 || v.Dims[0] != "time" {
+		t.Fatalf("var dims = %v", v.Dims)
+	}
+	if s, ok := f.GlobalAttr("source"); !ok || s != "goparsvd test" {
+		t.Fatalf("global attr = %q, %v", s, ok)
+	}
+}
+
+func TestReadSlabInterior(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gnc")
+	want := writeTestFile(t, path, 6, 4, 5)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Slab: times 2..3, lats 1..2, lons 1..3.
+	got, err := f.ReadSlab("pressure", []int64{2, 1, 1}, []int64{2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2*2*3 {
+		t.Fatalf("slab size %d", len(got))
+	}
+	idx := 0
+	for tt := 2; tt < 4; tt++ {
+		for la := 1; la < 3; la++ {
+			for lo := 1; lo < 4; lo++ {
+				w := want[(tt*4+la)*5+lo]
+				if got[idx] != w {
+					t.Fatalf("slab[%d] = %g, want %g", idx, got[idx], w)
+				}
+				idx++
+			}
+		}
+	}
+}
+
+func TestReadSlabFullTrailingDims(t *testing.T) {
+	// Selecting full lat×lon planes exercises the contiguous-run folding.
+	path := filepath.Join(t.TempDir(), "t.gnc")
+	want := writeTestFile(t, path, 6, 4, 5)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := f.ReadSlab("pressure", []int64{3, 0, 0}, []int64{2, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[3*4*5+i] {
+			t.Fatalf("plane read mismatch at %d", i)
+		}
+	}
+}
+
+func TestReadSlab1D(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gnc")
+	writeTestFile(t, path, 4, 3, 5)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := f.ReadSlab("lat", []int64{1}, []int64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 2.5 || got[1] != 5.0 {
+		t.Fatalf("lat slab = %v", got)
+	}
+}
+
+func TestReadSlabErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gnc")
+	writeTestFile(t, path, 4, 3, 5)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cases := map[string]struct {
+		offsets, counts []int64
+	}{
+		"rank mismatch": {[]int64{0, 0}, []int64{1, 1}},
+		"out of bounds": {[]int64{0, 0, 3}, []int64{1, 1, 3}},
+		"negative":      {[]int64{-1, 0, 0}, []int64{1, 1, 1}},
+	}
+	for name, tc := range cases {
+		if _, err := f.ReadSlab("pressure", tc.offsets, tc.counts); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+	if _, err := f.ReadSlab("nope", []int64{0}, []int64{1}); err == nil {
+		t.Fatal("unknown variable: expected error")
+	}
+}
+
+func TestConcurrentSlabReads(t *testing.T) {
+	// The parallel-IO pattern of the paper: many ranks read disjoint row
+	// slabs of the same open file concurrently.
+	path := filepath.Join(t.TempDir(), "t.gnc")
+	want := writeTestFile(t, path, 16, 8, 9)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for r := 0; r < 16; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			got, err := f.ReadSlab("pressure", []int64{int64(r), 0, 0}, []int64{1, 8, 9})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			for i := range got {
+				if got[i] != want[r*8*9+i] {
+					errs[r] = errors.New("content mismatch")
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestWriteSlab(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gnc")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineDim("x", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineDim("y", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineVar("v", []string{"x", "y"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EndDef(); err != nil {
+		t.Fatal(err)
+	}
+	// Write rows 0-1 and 2-3 as separate slabs (concurrently).
+	var wg sync.WaitGroup
+	for blk := 0; blk < 2; blk++ {
+		wg.Add(1)
+		go func(blk int) {
+			defer wg.Done()
+			data := make([]float64, 2*3)
+			for i := range data {
+				data[i] = float64(blk*6 + i)
+			}
+			if err := w.WriteSlab("v", []int64{int64(blk * 2), 0}, []int64{2, 3}, data); err != nil {
+				t.Error(err)
+			}
+		}(blk)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := f.ReadVar("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != float64(i) {
+			t.Fatalf("element %d = %g", i, got[i])
+		}
+	}
+}
+
+func TestWriterSchemaErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gnc")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.DefineDim("x", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineDim("x", 3); err == nil {
+		t.Fatal("duplicate dim accepted")
+	}
+	if err := w.DefineDim("", 3); err == nil {
+		t.Fatal("empty dim name accepted")
+	}
+	if err := w.DefineDim("z", 0); err == nil {
+		t.Fatal("zero-size dim accepted")
+	}
+	if err := w.DefineVar("v", []string{"missing"}, nil); err == nil {
+		t.Fatal("undefined dimension accepted")
+	}
+	if err := w.DefineVar("", []string{"x"}, nil); err == nil {
+		t.Fatal("empty var name accepted")
+	}
+	if err := w.DefineVar("v", []string{"x"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineVar("v", []string{"x"}, nil); err == nil {
+		t.Fatal("duplicate var accepted")
+	}
+	if err := w.WriteVar("v", []float64{1, 2}); err == nil {
+		t.Fatal("WriteVar before EndDef accepted")
+	}
+	if err := w.EndDef(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EndDef(); err == nil {
+		t.Fatal("double EndDef accepted")
+	}
+	if err := w.DefineDim("late", 1); err == nil {
+		t.Fatal("DefineDim after EndDef accepted")
+	}
+	if err := w.WriteVar("v", []float64{1}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	if err := w.WriteVar("w", []float64{1, 2}); err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.bin")
+	if err := os.WriteFile(path, []byte("this is definitely not a GNC file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(path)
+	if !errors.Is(err, ErrNotGNC) {
+		t.Fatalf("err = %v, want ErrNotGNC", err)
+	}
+}
+
+func TestOpenRejectsTruncatedHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gnc")
+	writeTestFile(t, path, 2, 2, 2)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.gnc")
+	if err := os.WriteFile(trunc, raw[:20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(trunc); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope.gnc")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// Property: random slabs of a random 3-D variable always match the
+// corresponding region of the full array.
+func TestPropertyRandomSlabs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gnc")
+	nt, nlat, nlon := 7, 5, 6
+	want := writeTestFile(t, path, nt, nlat, nlon)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		off := []int64{int64(rng.Intn(nt)), int64(rng.Intn(nlat)), int64(rng.Intn(nlon))}
+		cnt := []int64{
+			1 + int64(rng.Intn(nt-int(off[0]))),
+			1 + int64(rng.Intn(nlat-int(off[1]))),
+			1 + int64(rng.Intn(nlon-int(off[2]))),
+		}
+		got, err := f.ReadSlab("pressure", off, cnt)
+		if err != nil {
+			return false
+		}
+		idx := 0
+		for a := off[0]; a < off[0]+cnt[0]; a++ {
+			for b := off[1]; b < off[1]+cnt[1]; b++ {
+				for c := off[2]; c < off[2]+cnt[2]; c++ {
+					if got[idx] != want[(a*int64(nlat)+b)*int64(nlon)+c] {
+						return false
+					}
+					idx++
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalAttrsCopy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gnc")
+	writeTestFile(t, path, 2, 2, 2)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	attrs := f.GlobalAttrs()
+	if attrs["source"] != "goparsvd test" || attrs["history"] == "" {
+		t.Fatalf("attrs = %v", attrs)
+	}
+	// Mutating the copy must not affect the file's view.
+	attrs["source"] = "tampered"
+	if v, _ := f.GlobalAttr("source"); v != "goparsvd test" {
+		t.Fatal("GlobalAttrs returned aliased map")
+	}
+}
+
+func TestWriteSlabWrongPayloadLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gnc")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.DefineDim("x", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineVar("v", []string{"x"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EndDef(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSlab("v", []int64{0}, []int64{2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("wrong slab payload length accepted")
+	}
+	if err := w.WriteSlab("nope", []int64{0}, []int64{1}, []float64{1}); err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+}
+
+func TestReadVarUnknown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gnc")
+	writeTestFile(t, path, 2, 2, 2)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.ReadVar("missing"); err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+}
+
+func TestZeroCountSlab(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gnc")
+	writeTestFile(t, path, 3, 2, 2)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := f.ReadSlab("pressure", []int64{1, 0, 0}, []int64{0, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("zero-count slab returned %d values", len(got))
+	}
+}
+
+func TestHeaderFuzzTruncations(t *testing.T) {
+	// Truncate the file at every length up to the full header and require
+	// Open to fail cleanly (no panic) each time.
+	path := filepath.Join(t.TempDir(), "t.gnc")
+	writeTestFile(t, path, 2, 3, 4)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerEnd := 12 + int(littleEndianUint64(raw[4:12]))
+	for cut := 0; cut < headerEnd; cut += 7 {
+		trunc := filepath.Join(t.TempDir(), "cut.gnc")
+		if err := os.WriteFile(trunc, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if f, err := Open(trunc); err == nil {
+			f.Close()
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+}
+
+func littleEndianUint64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

@@ -1,0 +1,105 @@
+package postproc
+
+import (
+	"fmt"
+
+	"goparsvd/internal/mat"
+	"goparsvd/internal/ncio"
+)
+
+// WriteModesGNC stores a mode matrix and its singular values in a GNC
+// container, one variable per artifact:
+//
+//	dimensions: point (grid), mode (K)
+//	variables:  modes(point, mode), singular_values(mode)
+//
+// Downstream tools (gncinfo, external plotters) can then consume the
+// decomposition with the same reader used for the input data — the
+// counterpart of PyParSVD writing its bases back to disk for each batch.
+func WriteModesGNC(path string, modes *mat.Dense, singular []float64, attrs map[string]string) error {
+	rows, cols := modes.Dims()
+	if len(singular) != cols {
+		return fmt.Errorf("postproc: %d singular values for %d modes", len(singular), cols)
+	}
+	if rows == 0 || cols == 0 {
+		return fmt.Errorf("postproc: empty mode matrix %dx%d", rows, cols)
+	}
+	w, err := ncio.Create(path)
+	if err != nil {
+		return err
+	}
+	steps := []func() error{
+		func() error { return w.DefineDim("point", int64(rows)) },
+		func() error { return w.DefineDim("mode", int64(cols)) },
+		func() error {
+			return w.DefineVar("modes", []string{"point", "mode"},
+				map[string]string{"long_name": "truncated left singular vectors"})
+		},
+		func() error {
+			return w.DefineVar("singular_values", []string{"mode"},
+				map[string]string{"long_name": "singular values, descending"})
+		},
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	for k, v := range attrs {
+		if err := w.SetGlobalAttr(k, v); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	if err := w.EndDef(); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.WriteVar("modes", modes.RawData()); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.WriteVar("singular_values", singular); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// ReadModesGNC loads a decomposition written by WriteModesGNC.
+func ReadModesGNC(path string) (modes *mat.Dense, singular []float64, err error) {
+	f, err := ncio.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	v, ok := f.Var("modes")
+	if !ok {
+		return nil, nil, fmt.Errorf("postproc: %s has no 'modes' variable", path)
+	}
+	if len(v.Dims) != 2 {
+		return nil, nil, fmt.Errorf("postproc: 'modes' has %d dimensions, want 2", len(v.Dims))
+	}
+	pointDim, ok := f.Dim(v.Dims[0])
+	if !ok {
+		return nil, nil, fmt.Errorf("postproc: missing dimension %q", v.Dims[0])
+	}
+	modeDim, ok := f.Dim(v.Dims[1])
+	if !ok {
+		return nil, nil, fmt.Errorf("postproc: missing dimension %q", v.Dims[1])
+	}
+	data, err := f.ReadVar("modes")
+	if err != nil {
+		return nil, nil, err
+	}
+	singular, err = f.ReadVar("singular_values")
+	if err != nil {
+		return nil, nil, err
+	}
+	if int64(len(singular)) != modeDim.Size {
+		return nil, nil, fmt.Errorf("postproc: %d singular values for %d modes",
+			len(singular), modeDim.Size)
+	}
+	return mat.NewFromData(int(pointDim.Size), int(modeDim.Size), data), singular, nil
+}

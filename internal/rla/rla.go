@@ -1,0 +1,127 @@
+// Package rla implements the randomized linear algebra building block of
+// PyParSVD (paper §3.3): Gaussian sketching, a randomized range finder with
+// oversampling and power iterations, and the randomized low-rank SVD that
+// the library substitutes for any dense SVD in its pipeline
+// (`low_rank_svd` in the paper's listings).
+package rla
+
+import (
+	"fmt"
+	"math/rand"
+
+	"goparsvd/internal/linalg"
+	"goparsvd/internal/mat"
+)
+
+// Options controls the randomized SVD approximation quality.
+type Options struct {
+	// Oversample is the number p of extra sketch columns beyond the target
+	// rank; the sketch has k+p columns. Halko et al. recommend 5–10.
+	Oversample int
+	// PowerIters is the number q of power (subspace) iterations. Each
+	// iteration sharpens the sketch's alignment with the dominant
+	// singular subspace at the cost of two extra passes over A; q = 1–2
+	// suffices for the rapidly decaying spectra of PDE snapshot matrices.
+	PowerIters int
+	// Seed makes the Gaussian sketch reproducible. Two calls with the same
+	// seed and input produce identical factors.
+	Seed int64
+}
+
+// DefaultOptions returns the settings used throughout the reproduction:
+// oversampling 10, one power iteration, fixed seed.
+func DefaultOptions() Options {
+	return Options{Oversample: 10, PowerIters: 1, Seed: 1}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Oversample <= 0 {
+		o.Oversample = 10
+	}
+	if o.PowerIters < 0 {
+		o.PowerIters = 0
+	}
+	return o
+}
+
+// Gaussian returns an r×c matrix of iid standard normal entries drawn from
+// the given source.
+func Gaussian(r, c int, rng *rand.Rand) *mat.Dense {
+	m := mat.New(r, c)
+	data := m.RawData()
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// RangeFinder computes an orthonormal basis Q (m×l, l = k+oversample,
+// clamped to min(m, n)) whose span approximates the range of A, via
+// Y = A·Ω with a Gaussian Ω followed by QR, optionally sharpened by
+// power iterations with re-orthogonalization at every half-step
+// (the numerically stable subspace-iteration form).
+func RangeFinder(a *mat.Dense, k int, opts Options) *mat.Dense {
+	opts = opts.withDefaults()
+	m, n := a.Dims()
+	if k < 1 {
+		panic(fmt.Sprintf("rla: RangeFinder target rank %d < 1", k))
+	}
+	l := k + opts.Oversample
+	if l > n {
+		l = n
+	}
+	if l > m {
+		l = m
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	omega := Gaussian(n, l, rng)
+	y := mat.Mul(a, omega)
+	q, _ := linalg.QR(y)
+	for it := 0; it < opts.PowerIters; it++ {
+		z := mat.MulTransA(a, q) // n×l
+		qz, _ := linalg.QR(z)
+		y = mat.Mul(a, qz) // m×l
+		q, _ = linalg.QR(y)
+	}
+	return q
+}
+
+// RandomizedSVD computes an approximate rank-k SVD A ≈ U·diag(s)·Vᵀ using
+// the Halko–Martinsson–Tropp scheme: project onto the sketched range,
+// solve the small problem exactly, and lift back (paper Eqs. 7–11).
+// U is m×k, s has length k, V is n×k (k clamped to min(m, n)).
+func RandomizedSVD(a *mat.Dense, k int, opts Options) (u *mat.Dense, s []float64, v *mat.Dense) {
+	m, n := a.Dims()
+	t := min(m, n)
+	if k > t {
+		k = t
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("rla: RandomizedSVD target rank %d < 1", k))
+	}
+	q := RangeFinder(a, k, opts)
+	b := mat.MulTransA(q, a) // l×n, the small matrix Ã = Q*·A
+	ub, s, v := linalg.SVD(b)
+	u = mat.Mul(q, ub) // lift: U = Q·Ũ (paper Eq. 10)
+	if k < len(s) {
+		u = u.SliceCols(0, k)
+		s = s[:k]
+		v = v.SliceCols(0, k)
+	}
+	return u, s, v
+}
+
+// LowRankSVD is the paper's `low_rank_svd(wglobal, K)` helper: it returns
+// only the left factor and the singular values, which is all the APMOS and
+// streaming pipelines consume.
+func LowRankSVD(a *mat.Dense, k int, opts Options) (u *mat.Dense, s []float64) {
+	u, s, _ = RandomizedSVD(a, k, opts)
+	return u, s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

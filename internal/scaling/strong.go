@@ -1,0 +1,129 @@
+package scaling
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"goparsvd/internal/apmos"
+	"goparsvd/internal/burgers"
+	"goparsvd/internal/mat"
+	"goparsvd/internal/mpi"
+	"goparsvd/internal/rla"
+)
+
+// Strong scaling is not in the paper's evaluation (Figure 1c is weak
+// scaling only), but it is the other half of any distributed-SVD scaling
+// story and the natural ablation for DESIGN.md's A-series: a fixed global
+// problem split across more ranks, reporting speedup instead of constant
+// time.
+
+// StrongConfig parameterizes a measured strong-scaling run: the global
+// problem stays fixed while the rank count grows.
+type StrongConfig struct {
+	// Rows is the fixed global row count, split evenly across ranks.
+	Rows int
+	// Snapshots is the global column count.
+	Snapshots int
+	// K is the mode count; R1 the APMOS gather truncation.
+	K, R1 int
+	// Ranks lists the rank counts to measure.
+	Ranks []int
+	// Trials repeats each measurement and keeps the minimum.
+	Trials int
+}
+
+// DefaultStrongConfig is a laptop-scale strong-scaling sweep.
+func DefaultStrongConfig() StrongConfig {
+	return StrongConfig{
+		Rows:      8192,
+		Snapshots: 128,
+		K:         10,
+		R1:        32,
+		Ranks:     []int{1, 2, 4, 8},
+		Trials:    3,
+	}
+}
+
+func (c StrongConfig) validate() {
+	if c.Rows < 1 || c.Snapshots < 1 || c.K < 1 || len(c.Ranks) == 0 || c.Trials < 1 {
+		panic(fmt.Sprintf("scaling: invalid strong config %+v", c))
+	}
+	for _, p := range c.Ranks {
+		if p < 1 || p > c.Rows {
+			panic(fmt.Sprintf("scaling: rank count %d incompatible with %d rows", p, c.Rows))
+		}
+	}
+}
+
+// StrongPoint is one row of a strong-scaling series.
+type StrongPoint struct {
+	Ranks   int
+	Seconds float64
+	// Speedup is T(first)/T(p); ideal is p/first.
+	Speedup float64
+}
+
+// RunStrongScaling measures the randomized+parallel SVD on a fixed global
+// Burgers snapshot matrix for each rank count.
+func RunStrongScaling(cfg StrongConfig) []StrongPoint {
+	cfg.validate()
+	bc := burgers.Config{L: 1, Re: 1000, Nx: cfg.Rows, Nt: cfg.Snapshots, TFinal: 2}
+	full := bc.Snapshots()
+
+	points := make([]StrongPoint, 0, len(cfg.Ranks))
+	for _, p := range cfg.Ranks {
+		blocks := make([]*mat.Dense, p)
+		base, rem := cfg.Rows/p, cfg.Rows%p
+		off := 0
+		for r := 0; r < p; r++ {
+			rows := base
+			if r < rem {
+				rows++
+			}
+			blocks[r] = full.SliceRows(off, off+rows)
+			off += rows
+		}
+		opts := apmos.Options{
+			K: cfg.K, R1: cfg.R1, R2: cfg.K,
+			LowRank: true,
+			RLA:     rla.Options{Oversample: 10, PowerIters: 1, Seed: 7},
+		}
+		best := math.Inf(1)
+		for trial := 0; trial < cfg.Trials; trial++ {
+			start := time.Now()
+			mpi.MustRun(p, func(c *mpi.Comm) {
+				apmos.Decompose(c, blocks[c.Rank()], opts)
+			})
+			if dt := time.Since(start).Seconds(); dt < best {
+				best = dt
+			}
+		}
+		points = append(points, StrongPoint{Ranks: p, Seconds: best})
+	}
+	if len(points) > 0 {
+		base := points[0].Seconds
+		for i := range points {
+			if points[i].Seconds > 0 {
+				points[i].Speedup = base / points[i].Seconds
+			}
+		}
+	}
+	return points
+}
+
+// FormatStrongSeries renders a strong-scaling table with ideal speedup for
+// reference.
+func FormatStrongSeries(title string, points []StrongPoint) string {
+	s := title + "\n"
+	s += fmt.Sprintf("%8s  %12s  %10s  %10s\n", "ranks", "time[s]", "speedup", "ideal")
+	if len(points) == 0 {
+		return s
+	}
+	base := points[0].Ranks
+	for _, p := range points {
+		s += fmt.Sprintf("%8d  %12.4e  %10.3f  %10.3f\n",
+			p.Ranks, p.Seconds, p.Speedup, float64(p.Ranks)/float64(base))
+	}
+	return s
+}

@@ -1,0 +1,212 @@
+package spod
+
+import (
+	"math"
+	"testing"
+
+	"goparsvd/internal/grid"
+	"goparsvd/internal/mat"
+	"goparsvd/internal/testutil"
+)
+
+// oscillatingField builds q(x,t) = Σ_c amp_c·φ_c(x)·cos(2πf_c·t + phase_c)
+// plus optional white noise: the canonical SPOD test signal with known
+// coherent structures at known frequencies.
+type component struct {
+	pattern []float64
+	freq    float64
+	amp     float64
+	phase   float64
+}
+
+func oscillatingField(m, n int, dt float64, comps []component, noise float64, seed int64) *mat.Dense {
+	rng := testutil.NewRand(seed)
+	a := mat.New(m, n)
+	for t := 0; t < n; t++ {
+		tt := float64(t) * dt
+		for i := 0; i < m; i++ {
+			v := 0.0
+			for _, c := range comps {
+				v += c.amp * c.pattern[i] * math.Cos(2*math.Pi*c.freq*tt+c.phase)
+			}
+			if noise > 0 {
+				v += noise * rng.NormFloat64()
+			}
+			a.Set(i, t, v)
+		}
+	}
+	return a
+}
+
+func sinePattern(m, waves int) []float64 {
+	p := make([]float64, m)
+	for i := range p {
+		p[i] = math.Sin(float64(waves) * math.Pi * float64(i) / float64(m-1))
+	}
+	return p
+}
+
+func TestSPODFindsPlantedFrequency(t *testing.T) {
+	const (
+		m, n = 48, 512
+		dt   = 0.1
+	)
+	// One coherent structure oscillating at exactly bin 8 of a 64-point
+	// transform: f = 8/(64·0.1) = 1.25.
+	comps := []component{{pattern: sinePattern(m, 1), freq: 1.25, amp: 3}}
+	a := oscillatingField(m, n, dt, comps, 0.05, 1)
+	res := Compute(a, Options{NFFT: 64, Overlap: 0.5, DT: dt, K: 3})
+
+	peak := res.PeakFrequency()
+	if got := res.Frequencies[peak]; math.Abs(got-1.25) > 1e-12 {
+		t.Fatalf("peak at f = %g, want 1.25", got)
+	}
+	// The peak must dominate a quiet bin by orders of magnitude.
+	quiet := res.Energies[2][0]
+	if res.Energies[peak][0] < 100*quiet {
+		t.Fatalf("peak %g not dominant over quiet bin %g", res.Energies[peak][0], quiet)
+	}
+}
+
+func TestSPODModeMatchesPlantedPattern(t *testing.T) {
+	const (
+		m, n = 40, 512
+		dt   = 0.1
+	)
+	pattern := sinePattern(m, 2)
+	comps := []component{{pattern: pattern, freq: 1.25, amp: 2}}
+	a := oscillatingField(m, n, dt, comps, 0.02, 2)
+	res := Compute(a, Options{NFFT: 64, Overlap: 0.5, DT: dt, K: 2})
+	peak := res.PeakFrequency()
+
+	// The leading SPOD mode at the peak is complex with arbitrary phase;
+	// its modulus must match |pattern|.
+	modAbs := res.Modes[peak].Abs().Col(0)
+	want := make([]float64, m)
+	for i := range want {
+		want[i] = math.Abs(pattern[i])
+	}
+	if cos := grid.AbsCosine(modAbs, want); cos < 0.99 {
+		t.Fatalf("mode modulus vs pattern cosine %g", cos)
+	}
+}
+
+func TestSPODSeparatesTwoFrequencies(t *testing.T) {
+	const (
+		m, n = 40, 768
+		dt   = 0.1
+	)
+	p1 := sinePattern(m, 1)
+	p2 := sinePattern(m, 3)
+	comps := []component{
+		{pattern: p1, freq: 1.25, amp: 3},            // bin 8 of 64
+		{pattern: p2, freq: 2.5, amp: 2, phase: 0.7}, // bin 16
+	}
+	a := oscillatingField(m, n, dt, comps, 0.02, 3)
+	res := Compute(a, Options{NFFT: 64, Overlap: 0.5, DT: dt, K: 2})
+
+	bin := func(f float64) int {
+		for i, v := range res.Frequencies {
+			if math.Abs(v-f) < 1e-9 {
+				return i
+			}
+		}
+		t.Fatalf("frequency %g not on axis", f)
+		return -1
+	}
+	b1, b2 := bin(1.25), bin(2.5)
+	// Each planted frequency's mode matches its own pattern, not the other.
+	m1 := res.Modes[b1].Abs().Col(0)
+	m2 := res.Modes[b2].Abs().Col(0)
+	abs1 := absSlice(p1)
+	abs2 := absSlice(p2)
+	if cos := grid.AbsCosine(m1, abs1); cos < 0.98 {
+		t.Fatalf("bin %d mode vs pattern 1: cosine %g", b1, cos)
+	}
+	if cos := grid.AbsCosine(m2, abs2); cos < 0.98 {
+		t.Fatalf("bin %d mode vs pattern 2: cosine %g", b2, cos)
+	}
+	if res.Energies[b1][0] <= res.Energies[b2][0] {
+		t.Fatal("higher-amplitude component should carry more energy")
+	}
+}
+
+func TestSPODEnergiesDescendingNonNegative(t *testing.T) {
+	rng := testutil.NewRand(4)
+	a := testutil.RandomDense(24, 300, rng)
+	res := Compute(a, Options{NFFT: 32, Overlap: 0.5, DT: 1, K: 4})
+	for f, e := range res.Energies {
+		for j, v := range e {
+			if v < 0 {
+				t.Fatalf("negative energy at f=%d j=%d: %g", f, j, v)
+			}
+			if j > 0 && v > e[j-1]+1e-12 {
+				t.Fatalf("energies not descending at f=%d: %v", f, e)
+			}
+		}
+	}
+}
+
+func TestSPODModesUnitNormInWeightedSense(t *testing.T) {
+	// SPOD modes from the method of snapshots are orthonormal per
+	// frequency: Φ^H·Φ = I. Check the unit norm of the leading mode.
+	rng := testutil.NewRand(5)
+	a := testutil.RandomDense(30, 320, rng)
+	res := Compute(a, Options{NFFT: 64, Overlap: 0.5, DT: 1, K: 2})
+	for f := 0; f < len(res.Frequencies); f += 8 {
+		if res.Energies[f][0] == 0 {
+			continue
+		}
+		re := res.Modes[f].Re.Col(0)
+		im := res.Modes[f].Im.Col(0)
+		norm := 0.0
+		for i := range re {
+			norm += re[i]*re[i] + im[i]*im[i]
+		}
+		if math.Abs(norm-1) > 1e-8 {
+			t.Fatalf("f=%d: leading mode norm² = %g, want 1", f, norm)
+		}
+	}
+}
+
+func TestSPODBlockCount(t *testing.T) {
+	rng := testutil.NewRand(6)
+	a := testutil.RandomDense(10, 256, rng)
+	res := Compute(a, Options{NFFT: 64, Overlap: 0.5, DT: 1})
+	// 256 snapshots, 64-point blocks, 32-step: blocks at 0,32,...,192 → 7.
+	if res.Blocks != 7 {
+		t.Fatalf("blocks = %d, want 7", res.Blocks)
+	}
+	if len(res.Frequencies) != 33 {
+		t.Fatalf("frequency bins = %d, want 33", len(res.Frequencies))
+	}
+}
+
+func TestSPODOptionValidation(t *testing.T) {
+	rng := testutil.NewRand(7)
+	a := testutil.RandomDense(8, 128, rng)
+	for name, opts := range map[string]Options{
+		"nfft not pow2": {NFFT: 48, Overlap: 0.5, DT: 1},
+		"nfft too big":  {NFFT: 256, Overlap: 0.5, DT: 1},
+		"overlap":       {NFFT: 32, Overlap: 1.0, DT: 1},
+		"dt":            {NFFT: 32, Overlap: 0.5, DT: 0},
+		"k":             {NFFT: 32, Overlap: 0.5, DT: 1, K: -1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			Compute(a, opts)
+		})
+	}
+}
+
+func absSlice(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = math.Abs(v)
+	}
+	return out
+}

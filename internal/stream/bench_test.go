@@ -1,0 +1,38 @@
+package stream
+
+import (
+	"testing"
+
+	"goparsvd/internal/testutil"
+)
+
+func BenchmarkInitialize(b *testing.B) {
+	rng := testutil.NewRand(1)
+	a := testutil.RandomDense(4096, 64, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(Options{K: 10, FF: 0.95}).Initialize(a)
+	}
+}
+
+func BenchmarkIncorporateDeterministic(b *testing.B) {
+	rng := testutil.NewRand(2)
+	first := testutil.RandomDense(4096, 64, rng)
+	next := testutil.RandomDense(4096, 64, rng)
+	s := New(Options{K: 10, FF: 0.95}).Initialize(first)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.IncorporateData(next)
+	}
+}
+
+func BenchmarkIncorporateLowRank(b *testing.B) {
+	rng := testutil.NewRand(3)
+	first := testutil.RandomDense(4096, 64, rng)
+	next := testutil.RandomDense(4096, 64, rng)
+	s := New(Options{K: 10, FF: 0.95, LowRank: true}).Initialize(first)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.IncorporateData(next)
+	}
+}

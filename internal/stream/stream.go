@@ -1,0 +1,183 @@
+// Package stream implements the serial streaming (online) SVD of Levy &
+// Lindenbaum (paper §3.1, Algorithm 1, Listing 1): the truncated left
+// singular vectors of a growing snapshot matrix are updated batch by batch,
+// with a forget factor ff weighting the contribution of past batches.
+//
+// The streaming state after ingesting batches A_0 … A_i approximates the
+// truncated SVD of [ff^i·A_0 | … | ff·A_{i−1} | A_i]; with ff = 1 and K at
+// least the matrix rank it reproduces the one-shot SVD exactly.
+package stream
+
+import (
+	"fmt"
+
+	"goparsvd/internal/linalg"
+	"goparsvd/internal/mat"
+	"goparsvd/internal/rla"
+)
+
+// Options configures a streaming SVD.
+type Options struct {
+	// K is the number of retained modes (truncation rank).
+	K int
+	// FF is the forget factor in (0, 1]; the paper uses 0.95 in its
+	// experiments and 1.0 to reproduce the one-shot SVD.
+	FF float64
+	// LowRank replaces the small dense SVD in each update with the
+	// randomized variant (paper §3.3).
+	LowRank bool
+	// RLA configures the randomized SVD when LowRank is set.
+	RLA rla.Options
+}
+
+func (o Options) validated() Options {
+	if o.K < 1 {
+		panic(fmt.Sprintf("stream: K = %d < 1", o.K))
+	}
+	if o.FF <= 0 || o.FF > 1 {
+		panic(fmt.Sprintf("stream: forget factor %g outside (0, 1]", o.FF))
+	}
+	if o.RLA == (rla.Options{}) {
+		o.RLA = rla.DefaultOptions()
+	}
+	return o
+}
+
+// SVD is the streaming decomposition state. Create one with New, seed it
+// with Initialize, then feed batches with IncorporateData.
+type SVD struct {
+	opts        Options
+	modes       *mat.Dense // M×k, k = min(K, columns seen)
+	singular    []float64
+	rows        int
+	iterations  int
+	snapshots   int
+	initialized bool
+}
+
+// New returns an empty streaming SVD with the given options.
+func New(opts Options) *SVD {
+	return &SVD{opts: opts.validated()}
+}
+
+// Restore rebuilds a streaming SVD from previously captured state (the
+// checkpoint/restart path): the current modes, singular values and
+// counters. The modes matrix is adopted without copying.
+func Restore(opts Options, modes *mat.Dense, singular []float64, iterations, snapshots int) *SVD {
+	if modes == nil || modes.Cols() != len(singular) {
+		panic("stream: Restore state inconsistent: modes/singular size mismatch")
+	}
+	if iterations < 0 || snapshots < modes.Cols() {
+		panic(fmt.Sprintf("stream: Restore counters invalid: iterations=%d snapshots=%d",
+			iterations, snapshots))
+	}
+	return &SVD{
+		opts:        opts.validated(),
+		modes:       modes,
+		singular:    append([]float64(nil), singular...),
+		rows:        modes.Rows(),
+		iterations:  iterations,
+		snapshots:   snapshots,
+		initialized: true,
+	}
+}
+
+// Initialized reports whether Initialize has been called.
+func (s *SVD) Initialized() bool { return s.initialized }
+
+// Iterations returns the number of IncorporateData calls so far.
+func (s *SVD) Iterations() int { return s.iterations }
+
+// SnapshotsSeen returns the total number of ingested snapshot columns.
+func (s *SVD) SnapshotsSeen() int { return s.snapshots }
+
+// Modes returns the current truncated left singular vectors (M×k). The
+// caller must not mutate the result.
+func (s *SVD) Modes() *mat.Dense {
+	s.mustBeInitialized()
+	return s.modes
+}
+
+// SingularValues returns the current truncated singular values. The caller
+// must not mutate the result.
+func (s *SVD) SingularValues() []float64 {
+	s.mustBeInitialized()
+	return s.singular
+}
+
+func (s *SVD) mustBeInitialized() {
+	if !s.initialized {
+		panic("stream: SVD not initialized; call Initialize with the first batch")
+	}
+}
+
+// Initialize seeds the decomposition with the first batch A_0 (M×B): a QR
+// factorization followed by an SVD of the small R factor (Algorithm 1,
+// steps I1–I2).
+func (s *SVD) Initialize(a *mat.Dense) *SVD {
+	if s.initialized {
+		panic("stream: Initialize called twice; use IncorporateData for new batches")
+	}
+	m, b := a.Dims()
+	if m == 0 || b == 0 {
+		panic("stream: empty initial batch")
+	}
+	q, r := linalg.QR(a)
+	ui, d := s.smallSVD(r)
+	k := min(s.opts.K, len(d))
+	s.modes = mat.Mul(q, ui.SliceCols(0, k))
+	s.singular = append([]float64(nil), d[:k]...)
+	s.rows = m
+	s.snapshots = b
+	s.initialized = true
+	return s
+}
+
+// IncorporateData ingests a new batch A_i (M×B), updating the truncated
+// modes and singular values (Algorithm 1, steps 1–5):
+//
+//	[ff·U_{i−1}·D_{i−1} | A_i] = U′·D′   (QR)
+//	D′ = Ũ·D̃·Ṽᵀ                        (small SVD)
+//	U_i = U′·Ũ[:, :K],  D_i = D̃[:K]
+func (s *SVD) IncorporateData(a *mat.Dense) *SVD {
+	s.mustBeInitialized()
+	m, b := a.Dims()
+	if m != s.rows {
+		panic(fmt.Sprintf("stream: batch has %d rows, want %d", m, s.rows))
+	}
+	if b == 0 {
+		return s
+	}
+	// Scale the running factorization by the forget factor and append the
+	// new snapshots (Listing 1: m_ap = ff·U·diag(D); concat).
+	scaled := mat.Scale(s.opts.FF, mat.MulDiag(s.modes, s.singular))
+	concat := mat.HStack(scaled, a)
+
+	udash, ddash := linalg.QR(concat)
+	utilde, dtilde := s.smallSVD(ddash)
+	k := min(s.opts.K, len(dtilde))
+	s.modes = mat.Mul(udash, utilde.SliceCols(0, k))
+	s.singular = append(s.singular[:0], dtilde[:k]...)
+	s.iterations++
+	s.snapshots += b
+	return s
+}
+
+// smallSVD factorizes the small (batch-sized) matrix produced by the QR
+// step, optionally with the randomized algorithm. Singular values are
+// returned in descending order, which subsumes Listing 1's argsort.
+func (s *SVD) smallSVD(r *mat.Dense) (*mat.Dense, []float64) {
+	if s.opts.LowRank {
+		t := min(r.Rows(), r.Cols())
+		return rla.LowRankSVD(r, min(s.opts.K, t), s.opts.RLA)
+	}
+	u, d, _ := linalg.SVD(r)
+	return u, d
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

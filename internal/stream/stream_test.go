@@ -1,0 +1,299 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"goparsvd/internal/linalg"
+	"goparsvd/internal/mat"
+	"goparsvd/internal/testutil"
+)
+
+func TestInitializeMatchesBatchSVD(t *testing.T) {
+	rng := testutil.NewRand(1)
+	a := testutil.RandomDense(40, 8, rng)
+	s := New(Options{K: 5, FF: 1}).Initialize(a)
+	u, sv, _ := linalg.SVD(a)
+	if !testutil.CloseSlices(s.SingularValues(), sv[:5], 1e-10) {
+		t.Fatalf("singular values %v vs %v", s.SingularValues(), sv[:5])
+	}
+	if err := testutil.MaxColumnError(u.SliceCols(0, 5), s.Modes()); err > 1e-8 {
+		t.Fatalf("mode error %g", err)
+	}
+}
+
+func TestStreamingEqualsOneShotForFullRankRetention(t *testing.T) {
+	// ff = 1 and K ≥ rank: streaming over batches must equal the one-shot
+	// SVD of the concatenated matrix (the paper's ff = 1 claim).
+	rng := testutil.NewRand(2)
+	a, _ := testutil.RandomLowRank(60, 24, 6, 0, rng)
+	s := New(Options{K: 8, FF: 1}).Initialize(a.SliceCols(0, 8))
+	for off := 8; off < 24; off += 8 {
+		s.IncorporateData(a.SliceCols(off, off+8))
+	}
+	u, sv, _ := linalg.SVD(a)
+	if !testutil.CloseSlices(s.SingularValues()[:6], sv[:6], 1e-9) {
+		t.Fatalf("streamed %v vs batch %v", s.SingularValues()[:6], sv[:6])
+	}
+	if err := testutil.MaxColumnError(u.SliceCols(0, 6), s.Modes().SliceCols(0, 6)); err > 1e-6 {
+		t.Fatalf("mode error %g", err)
+	}
+}
+
+func TestStreamingApproximatesLeadingModesUnderTruncation(t *testing.T) {
+	// With K smaller than the batch count but a decaying spectrum, the
+	// leading streamed modes still track the batch SVD.
+	rng := testutil.NewRand(3)
+	a, _ := testutil.RandomLowRank(80, 30, 5, 1e-8, rng)
+	s := New(Options{K: 6, FF: 1}).Initialize(a.SliceCols(0, 10))
+	s.IncorporateData(a.SliceCols(10, 20))
+	s.IncorporateData(a.SliceCols(20, 30))
+	u, sv, _ := linalg.SVD(a)
+	if !testutil.CloseSlices(s.SingularValues()[:5], sv[:5], 1e-6) {
+		t.Fatalf("streamed %v vs batch %v", s.SingularValues()[:5], sv[:5])
+	}
+	if err := testutil.SubspaceError(u.SliceCols(0, 3), s.Modes().SliceCols(0, 3)); err > 1e-6 {
+		t.Fatalf("leading subspace error %g", err)
+	}
+}
+
+func TestForgetFactorDownweightsHistory(t *testing.T) {
+	// Feed a signal that lives in direction e1 for the first batches and
+	// in e2 afterwards. With ff < 1 the top mode must rotate towards e2;
+	// with ff = 1 it stays dominated by the (larger) early energy.
+	m := 50
+	batch := func(dir int, scale float64) *mat.Dense {
+		b := mat.New(m, 4)
+		for j := 0; j < 4; j++ {
+			b.Set(dir, j, scale)
+		}
+		return b
+	}
+	// Energy budget: the initial e1 batch carries singular value
+	// sqrt(4·10²) = 20; eight e2 batches carry at most sqrt(8·4·3²) ≈ 17,
+	// so with ff = 1 the top mode stays e1, while ff = 0.5 decays the e1
+	// history to 20·0.5⁸ ≈ 0.08 and the top mode flips to e2.
+	run := func(ff float64) float64 {
+		s := New(Options{K: 2, FF: ff}).Initialize(batch(0, 10))
+		for i := 0; i < 8; i++ {
+			s.IncorporateData(batch(1, 3))
+		}
+		// |top mode ⋅ e2|: how much the current top mode points at e2.
+		return math.Abs(s.Modes().At(1, 0))
+	}
+	align1 := run(1.0)
+	align05 := run(0.5)
+	if align05 <= align1 {
+		t.Fatalf("ff=0.5 alignment %g should exceed ff=1 alignment %g", align05, align1)
+	}
+	if align05 < 0.9 {
+		t.Fatalf("with heavy forgetting the top mode should be ~e2, got alignment %g", align05)
+	}
+}
+
+func TestForgetFactorConvergence(t *testing.T) {
+	// A1 ablation: as ff → 1 the streamed singular values approach the
+	// one-shot values monotonically (for this fixed workload).
+	rng := testutil.NewRand(4)
+	a, _ := testutil.RandomLowRank(60, 20, 4, 1e-6, rng)
+	_, svBatch, _ := linalg.SVD(a)
+	prevErr := math.Inf(1)
+	for _, ff := range []float64{0.5, 0.8, 0.95, 1.0} {
+		s := New(Options{K: 6, FF: ff}).Initialize(a.SliceCols(0, 5))
+		for off := 5; off < 20; off += 5 {
+			s.IncorporateData(a.SliceCols(off, off+5))
+		}
+		err := 0.0
+		for i := 0; i < 4; i++ {
+			err += math.Abs(s.SingularValues()[i] - svBatch[i])
+		}
+		if err > prevErr+1e-9 {
+			t.Fatalf("ff=%g error %g worse than previous %g", ff, err, prevErr)
+		}
+		prevErr = err
+	}
+	if prevErr > 1e-8 {
+		t.Fatalf("ff=1 should match the batch SVD, error %g", prevErr)
+	}
+}
+
+func TestModesStayOrthonormalAcrossUpdates(t *testing.T) {
+	rng := testutil.NewRand(5)
+	s := New(Options{K: 4, FF: 0.95}).Initialize(testutil.RandomDense(30, 6, rng))
+	for i := 0; i < 10; i++ {
+		s.IncorporateData(testutil.RandomDense(30, 6, rng))
+		testutil.CheckOrthonormalColumns(t, "modes", s.Modes(), 1e-10)
+	}
+}
+
+func TestSingularValuesSortedDescending(t *testing.T) {
+	rng := testutil.NewRand(6)
+	s := New(Options{K: 5, FF: 0.9}).Initialize(testutil.RandomDense(25, 7, rng))
+	for i := 0; i < 5; i++ {
+		s.IncorporateData(testutil.RandomDense(25, 7, rng))
+		sv := s.SingularValues()
+		for j := 1; j < len(sv); j++ {
+			if sv[j] > sv[j-1]+1e-12 {
+				t.Fatalf("iteration %d: singular values not sorted: %v", i, sv)
+			}
+		}
+	}
+}
+
+func TestLowRankStreamingTracksDeterministic(t *testing.T) {
+	rng := testutil.NewRand(7)
+	a, _ := testutil.RandomLowRank(60, 24, 4, 1e-7, rng)
+	det := New(Options{K: 5, FF: 1}).Initialize(a.SliceCols(0, 8))
+	rnd := New(Options{K: 5, FF: 1, LowRank: true}).Initialize(a.SliceCols(0, 8))
+	for off := 8; off < 24; off += 8 {
+		det.IncorporateData(a.SliceCols(off, off+8))
+		rnd.IncorporateData(a.SliceCols(off, off+8))
+	}
+	for i := 0; i < 4; i++ {
+		d, r := det.SingularValues()[i], rnd.SingularValues()[i]
+		if math.Abs(d-r) > 1e-5*(1+d) {
+			t.Fatalf("value %d: deterministic %g vs randomized %g", i, d, r)
+		}
+	}
+}
+
+func TestKLargerThanBatchClamps(t *testing.T) {
+	rng := testutil.NewRand(8)
+	s := New(Options{K: 10, FF: 1}).Initialize(testutil.RandomDense(20, 3, rng))
+	if s.Modes().Cols() != 3 || len(s.SingularValues()) != 3 {
+		t.Fatalf("K must clamp to available columns: %d", s.Modes().Cols())
+	}
+	// The retained rank grows as more snapshots arrive.
+	s.IncorporateData(testutil.RandomDense(20, 3, rng))
+	if s.Modes().Cols() != 6 {
+		t.Fatalf("after second batch want 6 columns, got %d", s.Modes().Cols())
+	}
+}
+
+func TestCountersAndAccessors(t *testing.T) {
+	rng := testutil.NewRand(9)
+	s := New(Options{K: 2, FF: 0.95})
+	if s.Initialized() {
+		t.Fatal("fresh SVD reports initialized")
+	}
+	s.Initialize(testutil.RandomDense(10, 4, rng))
+	s.IncorporateData(testutil.RandomDense(10, 3, rng))
+	s.IncorporateData(testutil.RandomDense(10, 2, rng))
+	if !s.Initialized() || s.Iterations() != 2 || s.SnapshotsSeen() != 9 {
+		t.Fatalf("counters: init=%v iters=%d snaps=%d", s.Initialized(), s.Iterations(), s.SnapshotsSeen())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"modes before init", func() { New(Options{K: 2, FF: 1}).Modes() }},
+		{"values before init", func() { New(Options{K: 2, FF: 1}).SingularValues() }},
+		{"incorporate before init", func() {
+			New(Options{K: 2, FF: 1}).IncorporateData(mat.New(3, 2))
+		}},
+		{"double init", func() {
+			s := New(Options{K: 2, FF: 1}).Initialize(mat.Eye(3))
+			s.Initialize(mat.Eye(3))
+		}},
+		{"bad K", func() { New(Options{K: 0, FF: 1}) }},
+		{"bad ff", func() { New(Options{K: 2, FF: 0}) }},
+		{"ff > 1", func() { New(Options{K: 2, FF: 1.5}) }},
+		{"row mismatch", func() {
+			s := New(Options{K: 2, FF: 1}).Initialize(mat.Eye(3))
+			s.IncorporateData(mat.New(4, 2))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestEmptyBatchIsNoOp(t *testing.T) {
+	rng := testutil.NewRand(10)
+	s := New(Options{K: 2, FF: 1}).Initialize(testutil.RandomDense(10, 4, rng))
+	before := s.Modes().Clone()
+	s.IncorporateData(mat.New(10, 0))
+	if !mat.EqualApprox(before, s.Modes(), 0) {
+		t.Fatal("empty batch changed the state")
+	}
+}
+
+// Property: for random low-rank data streamed with ff = 1, the streamed
+// spectrum matches the one-shot spectrum.
+func TestPropertyStreamingMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rank := 2 + rng.Intn(3)
+		batches := 2 + rng.Intn(3)
+		bs := rank + 1 + rng.Intn(4)
+		n := batches * bs
+		m := n + 10 + rng.Intn(30)
+		a, _ := testutil.RandomLowRank(m, n, rank, 0, rng)
+		s := New(Options{K: rank + 2, FF: 1}).Initialize(a.SliceCols(0, bs))
+		for off := bs; off < n; off += bs {
+			s.IncorporateData(a.SliceCols(off, off+bs))
+		}
+		_, sv, _ := linalg.SVD(a)
+		return testutil.CloseSlices(s.SingularValues()[:rank], sv[:rank], 1e-7)
+	}
+	cfg := &quick.Config{MaxCount: 20, Rand: testutil.NewRand(11)}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreRoundTrip(t *testing.T) {
+	rng := testutil.NewRand(12)
+	orig := New(Options{K: 3, FF: 0.9}).Initialize(testutil.RandomDense(15, 5, rng))
+	orig.IncorporateData(testutil.RandomDense(15, 4, rng))
+
+	restored := Restore(Options{K: 3, FF: 0.9},
+		orig.Modes().Clone(),
+		orig.SingularValues(),
+		orig.Iterations(), orig.SnapshotsSeen())
+
+	if !restored.Initialized() {
+		t.Fatal("restored state not initialized")
+	}
+	if restored.Iterations() != 1 || restored.SnapshotsSeen() != 9 {
+		t.Fatalf("counters: %d, %d", restored.Iterations(), restored.SnapshotsSeen())
+	}
+	// Continuation must match.
+	next := testutil.RandomDense(15, 4, rng)
+	orig.IncorporateData(next)
+	restored.IncorporateData(next)
+	if !mat.EqualApprox(orig.Modes(), restored.Modes(), 1e-13) {
+		t.Fatal("restored stream diverged")
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	m := mat.New(5, 2)
+	for name, fn := range map[string]func(){
+		"nil modes":      func() { Restore(Options{K: 2, FF: 1}, nil, nil, 0, 0) },
+		"size mismatch":  func() { Restore(Options{K: 2, FF: 1}, m, []float64{1}, 0, 2) },
+		"bad iterations": func() { Restore(Options{K: 2, FF: 1}, m, []float64{1, 2}, -1, 2) },
+		"bad snapshots":  func() { Restore(Options{K: 2, FF: 1}, m, []float64{1, 2}, 0, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}

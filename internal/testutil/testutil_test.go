@@ -1,0 +1,120 @@
+package testutil
+
+import (
+	"math"
+	"testing"
+
+	"goparsvd/internal/mat"
+)
+
+func TestRandomDenseDeterministic(t *testing.T) {
+	a := RandomDense(5, 4, NewRand(1))
+	b := RandomDense(5, 4, NewRand(1))
+	if !mat.EqualApprox(a, b, 0) {
+		t.Fatal("same seed must give identical matrices")
+	}
+	c := RandomDense(5, 4, NewRand(2))
+	if mat.EqualApprox(a, c, 1e-12) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRandomOrthonormalIsOrthonormal(t *testing.T) {
+	rng := NewRand(3)
+	q := RandomOrthonormal(20, 6, rng)
+	gram := mat.MulTransA(q, q)
+	if !mat.EqualApprox(gram, mat.Eye(6), 1e-12) {
+		t.Fatalf("QᵀQ deviates from I by %g", mat.Sub(gram, mat.Eye(6)).MaxAbs())
+	}
+}
+
+func TestRandomOrthonormalRejectsWide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k > n did not panic")
+		}
+	}()
+	RandomOrthonormal(3, 5, NewRand(4))
+}
+
+func TestRandomLowRankHasRequestedRankAndSpectrum(t *testing.T) {
+	rng := NewRand(5)
+	a, s := RandomLowRank(30, 12, 4, 0, rng)
+	if len(s) != 4 || s[0] != 1 {
+		t.Fatalf("planted spectrum %v", s)
+	}
+	// Numerical rank via Gram trace structure: the matrix has at most
+	// rank 4, so any 5 columns are linearly dependent. Cheap proxy: the
+	// Frobenius norm matches the planted spectrum.
+	want := 0.0
+	for _, v := range s {
+		want += v * v
+	}
+	if math.Abs(a.FroNorm()*a.FroNorm()-want) > 1e-10 {
+		t.Fatalf("energy %g, want %g", a.FroNorm()*a.FroNorm(), want)
+	}
+}
+
+func TestRandomSPDIsSymmetric(t *testing.T) {
+	rng := NewRand(6)
+	a := RandomSPD(6, []float64{6, 5, 4, 3, 2, 1}, rng)
+	if !mat.EqualApprox(a, a.T(), 1e-12) {
+		t.Fatal("RandomSPD not symmetric")
+	}
+}
+
+func TestAlignColumnSignsFlips(t *testing.T) {
+	a := mat.NewFromRows([][]float64{{1, 1}, {0, 1}})
+	b := mat.NewFromRows([][]float64{{-1, 1}, {0, 1}})
+	out := AlignColumnSigns(a, b)
+	if out.At(0, 0) != 1 || out.At(0, 1) != 1 {
+		t.Fatalf("alignment wrong: %v", out)
+	}
+}
+
+func TestMaxColumnErrorSignInvariant(t *testing.T) {
+	a := mat.NewFromRows([][]float64{{0.6}, {0.8}})
+	b := mat.Scale(-1, a)
+	if err := MaxColumnError(a, b); err > 1e-15 {
+		t.Fatalf("sign flip should not register: %g", err)
+	}
+	c := mat.NewFromRows([][]float64{{0.8}, {0.6}})
+	if err := MaxColumnError(a, c); err < 0.1 {
+		t.Fatalf("real difference should register: %g", err)
+	}
+}
+
+func TestSubspaceErrorRotationInvariant(t *testing.T) {
+	// Rotating within the subspace must not register.
+	rng := NewRand(7)
+	q := RandomOrthonormal(12, 2, rng)
+	theta := 0.7
+	rot := mat.NewFromRows([][]float64{
+		{math.Cos(theta), -math.Sin(theta)},
+		{math.Sin(theta), math.Cos(theta)},
+	})
+	qRot := mat.Mul(q, rot)
+	if err := SubspaceError(q, qRot); err > 1e-12 {
+		t.Fatalf("in-subspace rotation registered: %g", err)
+	}
+	// An orthogonal subspace registers maximally (≈1).
+	q2 := RandomOrthonormal(12, 2, rng)
+	if err := SubspaceError(q, q2); err < 0.1 {
+		t.Fatalf("distinct random subspaces too close: %g", err)
+	}
+}
+
+func TestCloseSlices(t *testing.T) {
+	if !CloseSlices([]float64{1, 2}, []float64{1, 2.0000000001}, 1e-9) {
+		t.Fatal("near slices reported unequal")
+	}
+	if CloseSlices([]float64{1}, []float64{1, 2}, 1) {
+		t.Fatal("length mismatch reported equal")
+	}
+	if CloseSlices([]float64{1}, []float64{2}, 0.5) {
+		t.Fatal("distant values reported equal")
+	}
+	if !Close(1.0, 1.0+1e-12, 1e-9) {
+		t.Fatal("Close failed")
+	}
+}

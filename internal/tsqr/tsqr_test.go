@@ -1,0 +1,210 @@
+package tsqr
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"goparsvd/internal/mat"
+	"goparsvd/internal/mpi"
+	"goparsvd/internal/testutil"
+)
+
+// splitRows partitions a into p contiguous row blocks as evenly as possible.
+func splitRows(a *mat.Dense, p int) []*mat.Dense {
+	m := a.Rows()
+	blocks := make([]*mat.Dense, p)
+	base, rem := m/p, m%p
+	off := 0
+	for r := 0; r < p; r++ {
+		rows := base
+		if r < rem {
+			rows++
+		}
+		blocks[r] = a.SliceRows(off, off+rows)
+		off += rows
+	}
+	return blocks
+}
+
+// runDistributedQR executes a distributed QR across p ranks and reassembles
+// the global Q from the per-rank blocks. Returns the stacked Q and the R
+// broadcast from rank 0.
+func runDistributedQR(t *testing.T, a *mat.Dense, p int,
+	method func(c *mpi.Comm, a *mat.Dense) (*mat.Dense, *mat.Dense)) (q, r *mat.Dense) {
+	t.Helper()
+	blocks := splitRows(a, p)
+	qBlocks := make([]*mat.Dense, p)
+	var rOut *mat.Dense
+	var mu sync.Mutex
+	mpi.MustRun(p, func(c *mpi.Comm) {
+		ql, rf := method(c, blocks[c.Rank()])
+		rb := c.BcastMatrix(0, rf)
+		mu.Lock()
+		qBlocks[c.Rank()] = ql
+		if c.Rank() == 0 {
+			rOut = rb
+		}
+		mu.Unlock()
+	})
+	return mat.VStack(qBlocks...), rOut
+}
+
+func checkAgainstSerial(t *testing.T, name string, a, q, r *mat.Dense, tol float64) {
+	t.Helper()
+	testutil.CheckOrthonormalColumns(t, name+"/Q", q, tol)
+	testutil.CheckUpperTriangular(t, name+"/R", r, tol)
+	if !mat.EqualApprox(mat.Mul(q, r), a, tol) {
+		t.Fatalf("%s: Q·R != A", name)
+	}
+	qs, rs := SerialQR(a)
+	// With the shared sign convention the distributed factors must match
+	// the serial ones directly (not just up to sign).
+	if !mat.EqualApprox(r, rs, tol) {
+		t.Fatalf("%s: distributed R differs from serial R by %g",
+			name, mat.Sub(r, rs).MaxAbs())
+	}
+	if !mat.EqualApprox(q, qs, tol) {
+		t.Fatalf("%s: distributed Q differs from serial Q by %g",
+			name, mat.Sub(q, qs).MaxAbs())
+	}
+}
+
+func TestGatherQRMatchesSerial(t *testing.T) {
+	rng := testutil.NewRand(1)
+	a := testutil.RandomDense(64, 6, rng)
+	for _, p := range []int{1, 2, 4} {
+		q, r := runDistributedQR(t, a, p, GatherQR)
+		checkAgainstSerial(t, "gather", a, q, r, 1e-11)
+	}
+}
+
+func TestGatherQRUnevenBlocks(t *testing.T) {
+	rng := testutil.NewRand(2)
+	a := testutil.RandomDense(61, 5, rng) // 61 rows across 4 ranks: 16,15,15,15
+	q, r := runDistributedQR(t, a, 4, GatherQR)
+	checkAgainstSerial(t, "gather-uneven", a, q, r, 1e-11)
+}
+
+func TestGatherQRShortBlocks(t *testing.T) {
+	// Blocks with fewer rows than columns (m_i < n) exercise the
+	// variable-height R stacking path.
+	rng := testutil.NewRand(3)
+	a := testutil.RandomDense(14, 6, rng) // 4 ranks → blocks of 4,4,3,3 rows < 6 cols
+	q, r := runDistributedQR(t, a, 4, GatherQR)
+	checkAgainstSerial(t, "gather-short", a, q, r, 1e-11)
+}
+
+func TestTreeQRMatchesSerial(t *testing.T) {
+	rng := testutil.NewRand(4)
+	a := testutil.RandomDense(64, 6, rng)
+	for _, p := range []int{1, 2, 4, 8} {
+		q, r := runDistributedQR(t, a, p, TreeQR)
+		checkAgainstSerial(t, "tree", a, q, r, 1e-11)
+	}
+}
+
+func TestTreeQRNonPowerOfTwoRanks(t *testing.T) {
+	rng := testutil.NewRand(5)
+	a := testutil.RandomDense(60, 4, rng)
+	for _, p := range []int{3, 5, 6, 7} {
+		q, r := runDistributedQR(t, a, p, TreeQR)
+		checkAgainstSerial(t, "tree-np2", a, q, r, 1e-11)
+	}
+}
+
+func TestTreeQRRejectsShortBlocks(t *testing.T) {
+	blocks := []*mat.Dense{mat.New(2, 5), mat.New(10, 5)}
+	_, err := mpi.Run(2, func(c *mpi.Comm) {
+		TreeQR(c, blocks[c.Rank()])
+	})
+	if err == nil {
+		t.Fatal("TreeQR must reject blocks with fewer rows than columns")
+	}
+}
+
+func TestGatherAndTreeAgree(t *testing.T) {
+	rng := testutil.NewRand(6)
+	a := testutil.RandomDense(48, 5, rng)
+	qg, rg := runDistributedQR(t, a, 4, GatherQR)
+	qt, rt := runDistributedQR(t, a, 4, TreeQR)
+	if !mat.EqualApprox(rg, rt, 1e-11) {
+		t.Fatal("gather and tree R factors disagree")
+	}
+	if !mat.EqualApprox(qg, qt, 1e-11) {
+		t.Fatal("gather and tree Q factors disagree")
+	}
+}
+
+func TestSerialQRSignConvention(t *testing.T) {
+	rng := testutil.NewRand(7)
+	a := testutil.RandomDense(12, 4, rng)
+	_, r := SerialQR(a)
+	for k := 0; k < 4; k++ {
+		if r.At(k, k) < 0 {
+			t.Fatalf("R[%d,%d] = %g < 0 after sign normalization", k, k, r.At(k, k))
+		}
+	}
+}
+
+func TestTreeQRRootIncastScalesBetter(t *testing.T) {
+	// The defining property of tree TSQR: the root receives O(n²·log P)
+	// bytes instead of O(n²·P). Total traffic is the same for both
+	// variants; the incast at rank 0 is the bottleneck that differs.
+	rng := testutil.NewRand(8)
+	a := testutil.RandomDense(256, 8, rng)
+	blocks := splitRows(a, 8)
+	rootRecv := func(method func(c *mpi.Comm, a *mat.Dense) (*mat.Dense, *mat.Dense)) int64 {
+		stats := mpi.MustRun(8, func(c *mpi.Comm) {
+			method(c, blocks[c.Rank()])
+		})
+		return stats.RecvBytes[0]
+	}
+	gather := rootRecv(GatherQR) // 7 R factors: 7·n² doubles
+	tree := rootRecv(TreeQR)     // log₂(8) = 3 R factors
+	if tree >= gather {
+		t.Fatalf("root received %d bytes with tree, %d with gather; expected tree < gather",
+			tree, gather)
+	}
+	wantGather := int64(7 * 8 * 8 * 8) // 7 messages × 64 doubles × 8 bytes
+	if gather != wantGather {
+		t.Fatalf("gather root incast = %d bytes, want %d", gather, wantGather)
+	}
+	wantTree := int64(3 * 8 * 8 * 8)
+	if tree != wantTree {
+		t.Fatalf("tree root incast = %d bytes, want %d", tree, wantTree)
+	}
+}
+
+// Property: both variants reproduce the serial factorization for random
+// shapes and rank counts.
+func TestPropertyDistributedQRMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(6)
+		m := p*n + rng.Intn(40) // ensure every block can have >= n rows
+		a := testutil.RandomDense(m, n, rng)
+		blocks := splitRows(a, p)
+		qBlocks := make([]*mat.Dense, p)
+		var rOut *mat.Dense
+		var mu sync.Mutex
+		mpi.MustRun(p, func(c *mpi.Comm) {
+			ql, rf := TreeQR(c, blocks[c.Rank()])
+			mu.Lock()
+			qBlocks[c.Rank()] = ql
+			if c.Rank() == 0 {
+				rOut = rf
+			}
+			mu.Unlock()
+		})
+		q := mat.VStack(qBlocks...)
+		qs, rs := SerialQR(a)
+		return mat.EqualApprox(q, qs, 1e-9) && mat.EqualApprox(rOut, rs, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 20, Rand: testutil.NewRand(9)}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
