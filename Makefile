@@ -1,0 +1,29 @@
+# Development entry points. `make check` is the tier-1 gate every PR must
+# keep green; CI and local workflows should run the same target.
+
+GO ?= go
+
+.PHONY: check build test vet fmt bench bench-stream
+
+check: build test vet fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l lists offending files; fail if any are reported.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./internal/mat ./internal/linalg
+
+bench-stream:
+	$(GO) test -run xxx -bench Incorporate -benchmem ./internal/stream

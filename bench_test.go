@@ -93,6 +93,7 @@ func runParallelBurgers(cfg burgers.Config, ranks, k, batch int, ff float64, low
 // serial and distributed pipelines run end to end and the reported metric
 // is the sign-aligned max|diff| of mode 1 (the quantity the figure plots).
 func BenchmarkFig1aBurgersMode1(b *testing.B) {
+	b.ReportAllocs()
 	var maxDiff float64
 	for i := 0; i < b.N; i++ {
 		serial := runSerialBurgers(benchBurgers, benchK, benchBatch, 0.95)
@@ -105,6 +106,7 @@ func BenchmarkFig1aBurgersMode1(b *testing.B) {
 
 // BenchmarkFig1bBurgersMode2 is Figure 1(b): mode 2 of the same runs.
 func BenchmarkFig1bBurgersMode2(b *testing.B) {
+	b.ReportAllocs()
 	var maxDiff float64
 	for i := 0; i < b.N; i++ {
 		serial := runSerialBurgers(benchBurgers, benchK, benchBatch, 0.95)
@@ -120,10 +122,12 @@ func BenchmarkFig1bBurgersMode2(b *testing.B) {
 // increasing rank counts; the reported metric is weak-scaling efficiency
 // versus the 1-rank bench of the same family.
 func BenchmarkFig1cWeakScaling(b *testing.B) {
+	b.ReportAllocs()
 	baseline := map[int]float64{}
 	for _, ranks := range []int{1, 2, 4, 8} {
 		ranks := ranks
 		b.Run(benchName("ranks", ranks), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := burgers.Config{L: 1, Re: 1000, Nx: 256 * ranks, Nt: 48, TFinal: 2}
 			parts := cfg.Partition(ranks)
 			blocks := make([]*mat.Dense, ranks)
@@ -156,6 +160,7 @@ func BenchmarkFig1cWeakScaling(b *testing.B) {
 // synthetic ERA5 analogue; the metric is the cosine of extracted mode 1
 // against the planted climatology (1.0 = perfect).
 func BenchmarkFig2ERA5Modes(b *testing.B) {
+	b.ReportAllocs()
 	cfg := climate.Config{
 		NLat: 19, NLon: 36, Snapshots: 240, StepHours: 24,
 		Seed: 2013, NoiseAmp: 1.5,
@@ -198,11 +203,13 @@ func BenchmarkFig2ERA5Modes(b *testing.B) {
 // BenchmarkAblationForgetFactor (A1) sweeps Algorithm 1's ff and reports
 // the deviation of the streamed σ₁ from the one-shot σ₁.
 func BenchmarkAblationForgetFactor(b *testing.B) {
+	b.ReportAllocs()
 	cfg := burgers.Config{L: 1, Re: 1000, Nx: 1024, Nt: 120, TFinal: 2}
 	_, sBatch, _ := linalg.SVD(cfg.Snapshots())
 	for _, ff := range []float64{0.80, 0.90, 0.95, 1.00} {
 		ff := ff
 		b.Run(benchFloat("ff", ff), func(b *testing.B) {
+			b.ReportAllocs()
 			var dev float64
 			for i := 0; i < b.N; i++ {
 				eng := runSerialBurgers(cfg, benchK, 30, ff)
@@ -217,6 +224,7 @@ func BenchmarkAblationForgetFactor(b *testing.B) {
 // and reports both time and the σ₁ deviation from the exact value — the
 // paper's stated accuracy/communication trade-off.
 func BenchmarkAblationTruncation(b *testing.B) {
+	b.ReportAllocs()
 	cfg := burgers.Config{L: 1, Re: 1000, Nx: 2048, Nt: 96, TFinal: 2}
 	parts := cfg.Partition(benchRanks)
 	blocks := make([]*mat.Dense, benchRanks)
@@ -227,6 +235,7 @@ func BenchmarkAblationTruncation(b *testing.B) {
 	for _, r1 := range []int{4, 8, 16, 48, 96} {
 		r1 := r1
 		b.Run(benchName("r1", r1), func(b *testing.B) {
+			b.ReportAllocs()
 			var dev float64
 			for i := 0; i < b.N; i++ {
 				var mu sync.Mutex
@@ -250,14 +259,17 @@ func BenchmarkAblationTruncation(b *testing.B) {
 // BenchmarkAblationRandomized (A3) compares the deterministic and
 // randomized SVD inside the same pipeline (paper §3.3's acceleration).
 func BenchmarkAblationRandomized(b *testing.B) {
+	b.ReportAllocs()
 	cfg := burgers.Config{L: 1, Re: 1000, Nx: 2048, Nt: 96, TFinal: 2}
 	a := cfg.Snapshots()
 	b.Run("deterministic", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			linalg.SVDTruncated(a, benchK)
 		}
 	})
 	b.Run("randomized", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rla.RandomizedSVD(a, benchK, rla.DefaultOptions())
 		}
@@ -267,6 +279,7 @@ func BenchmarkAblationRandomized(b *testing.B) {
 // BenchmarkAblationTSQR (A4) compares the paper's gather-at-root
 // distributed QR with the tree-reduction variant of its reference [32].
 func BenchmarkAblationTSQR(b *testing.B) {
+	b.ReportAllocs()
 	cfg := burgers.Config{L: 1, Re: 1000, Nx: 4096, Nt: 48, TFinal: 2}
 	parts := cfg.Partition(8)
 	blocks := make([]*mat.Dense, 8)
@@ -274,6 +287,7 @@ func BenchmarkAblationTSQR(b *testing.B) {
 		blocks[r] = cfg.SnapshotsRows(parts[r][0], parts[r][1])
 	}
 	b.Run("gather", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			mpi.MustRun(8, func(c *mpi.Comm) {
 				tsqr.GatherQR(c, blocks[c.Rank()])
@@ -281,6 +295,7 @@ func BenchmarkAblationTSQR(b *testing.B) {
 		}
 	})
 	b.Run("tree", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			mpi.MustRun(8, func(c *mpi.Comm) {
 				tsqr.TreeQR(c, blocks[c.Rank()])
@@ -292,10 +307,12 @@ func BenchmarkAblationTSQR(b *testing.B) {
 // BenchmarkAblationBatchSize (A5) sweeps the streaming batch size at fixed
 // total snapshot count: smaller batches mean more, cheaper updates.
 func BenchmarkAblationBatchSize(b *testing.B) {
+	b.ReportAllocs()
 	cfg := burgers.Config{L: 1, Re: 1000, Nx: 2048, Nt: 120, TFinal: 2}
 	for _, batch := range []int{20, 40, 60, 120} {
 		batch := batch
 		b.Run(benchName("batch", batch), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				runSerialBurgers(cfg, benchK, batch, 0.95)
 			}
@@ -306,6 +323,7 @@ func BenchmarkAblationBatchSize(b *testing.B) {
 // BenchmarkStreamingUpdate isolates one IncorporateData call — the
 // steady-state cost of the online algorithm (Algorithm 1 steps 1–5).
 func BenchmarkStreamingUpdate(b *testing.B) {
+	b.ReportAllocs()
 	cfg := burgers.Config{L: 1, Re: 1000, Nx: 4096, Nt: 80, TFinal: 2}
 	first := cfg.SnapshotsCols(0, 40)
 	next := cfg.SnapshotsCols(40, 80)

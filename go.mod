@@ -1,0 +1,3 @@
+module goparsvd
+
+go 1.24

@@ -160,7 +160,8 @@ func Decompose(c *mpi.Comm, a *mat.Dense, opts Options) (modes *mat.Dense, s []f
 	x = c.BcastMatrix(0, x)
 	lam = c.BcastFloats(0, lam)
 
-	// Step 7: local slice of each global mode, Ũʲᵢ = (1/Λ_j)·A_i·X_j.
+	// Step 7: local slice of each global mode, Ũʲᵢ = (1/Λ_j)·A_i·X_j. The
+	// 1/Λ scaling runs in place on the product, sparing an intermediate.
 	k := opts.K
 	if k > len(lam) {
 		k = len(lam)
@@ -171,7 +172,8 @@ func Decompose(c *mpi.Comm, a *mat.Dense, opts Options) (modes *mat.Dense, s []f
 			inv[j] = 1 / lam[j]
 		}
 	}
-	modes = mat.MulDiag(mat.Mul(a, x.SliceCols(0, k)), inv)
+	modes = mat.Mul(a, x.SliceCols(0, k))
+	mat.MulDiagInto(modes, modes, inv)
 	return modes, lam[:k]
 }
 

@@ -135,6 +135,10 @@ type Parallel struct {
 	rows      int
 	iteration int
 	snapshots int
+
+	// ws recycles this rank's update temporaries across batches; matrices
+	// that cross rank boundaries are still allocated by the communicator.
+	ws mat.Workspace
 }
 
 var _ Decomposer = (*Parallel)(nil)
@@ -185,14 +189,31 @@ func (p *Parallel) IncorporateData(a *mat.Dense) Decomposer {
 	if a.Cols() == 0 {
 		return p
 	}
-	ll := mat.HStack(mat.Scale(p.opts.ForgetFactor, mat.MulDiag(p.ulocal, p.singular)), a)
+	// The forget factor folds into the diagonal scaling pass and all local
+	// temporaries come from the per-rank workspace (mirroring the serial
+	// streaming engine's zero-allocation steady state).
+	k0 := p.ulocal.Cols()
+	scaled := p.ws.GetUninit(p.rows, k0)
+	mat.MulDiagScaledInto(scaled, p.opts.ForgetFactor, p.ulocal, p.singular)
+	ll := p.ws.GetUninit(p.rows, k0+a.Cols())
+	mat.HStackInto(ll, scaled, a)
+	p.ws.Put(scaled)
 	qlocal, unew, snew := p.parallelQR(ll)
+	p.ws.Put(ll)
 	k := p.opts.K
 	if k > len(snew) {
 		k = len(snew)
 	}
-	p.ulocal = mat.Mul(qlocal, unew.SliceCols(0, k))
-	p.singular = snew[:k]
+	usub := p.ws.GetUninit(unew.Rows(), k)
+	unew.SliceColsInto(usub, 0, k)
+	next := p.ws.GetUninit(qlocal.Rows(), k)
+	mat.MulInto(next, qlocal, usub)
+	p.ws.Put(usub)
+	p.ws.Put(unew)
+	p.ws.Put(qlocal)
+	p.ws.Put(p.ulocal) // recycle the previous local modes storage
+	p.ulocal = next
+	p.singular = append(p.singular[:0], snew[:k]...)
 	p.iteration++
 	p.snapshots += a.Cols()
 	return p
@@ -202,25 +223,37 @@ func (p *Parallel) IncorporateData(a *mat.Dense) Decomposer {
 // then the small SVD ("step b of Levy-Lindenbaum") of the global R at rank
 // 0, broadcast to everyone.
 func (p *Parallel) parallelQR(ll *mat.Dense) (qlocal, unew *mat.Dense, snew []float64) {
-	qlocal, rfinal := tsqr.GatherQR(p.comm, ll)
+	qlocal, rfinal := tsqr.GatherQRWith(&p.ws, p.comm, ll)
 	if p.comm.Rank() == 0 {
 		if p.opts.LowRank {
 			k := p.opts.K
 			if t := minInt(rfinal.Rows(), rfinal.Cols()); k > t {
 				k = t
 			}
-			unew, snew = rla.LowRankSVD(rfinal, k, p.opts.RLA)
+			unew, snew = rla.LowRankSVDWith(&p.ws, rfinal, k, p.opts.RLA)
 		} else {
-			unew, snew, _ = linalg.SVD(rfinal)
+			var v *mat.Dense
+			unew, snew, v = linalg.SVDWith(&p.ws, rfinal)
+			p.ws.Put(v)
 		}
+		p.ws.Put(rfinal)
 	}
+	// Broadcast returns a fresh copy on every rank, including the root;
+	// recycle the root's pre-broadcast factors instead of dropping them.
+	uroot, sroot := unew, snew
 	unew = p.comm.BcastMatrix(0, unew)
 	snew = p.comm.BcastFloats(0, snew)
+	if p.comm.Rank() == 0 {
+		p.ws.Put(uroot)
+		p.ws.PutFloats(sroot)
+	}
 	return qlocal, unew, snew
 }
 
 // Modes returns this rank's M_i×K slice of the truncated left singular
-// vectors.
+// vectors. The caller must not mutate the result, and the matrix is only
+// valid until the next IncorporateData call — its storage is recycled into
+// the update's workspace. Clone it to retain a snapshot across updates.
 func (p *Parallel) Modes() *mat.Dense {
 	p.mustBeInitialized()
 	return p.ulocal

@@ -7,6 +7,7 @@ import (
 )
 
 func BenchmarkQRTallSkinny(b *testing.B) {
+	b.ReportAllocs()
 	// The streaming update's QR shape: tall block, K+batch columns.
 	rng := testutil.NewRand(1)
 	a := testutil.RandomDense(8192, 64, rng)
@@ -17,6 +18,7 @@ func BenchmarkQRTallSkinny(b *testing.B) {
 }
 
 func BenchmarkQRSquare(b *testing.B) {
+	b.ReportAllocs()
 	rng := testutil.NewRand(2)
 	a := testutil.RandomDense(256, 256, rng)
 	b.ResetTimer()
@@ -26,6 +28,7 @@ func BenchmarkQRSquare(b *testing.B) {
 }
 
 func BenchmarkSVDSquare128(b *testing.B) {
+	b.ReportAllocs()
 	rng := testutil.NewRand(3)
 	a := testutil.RandomDense(128, 128, rng)
 	b.ResetTimer()
@@ -35,6 +38,7 @@ func BenchmarkSVDSquare128(b *testing.B) {
 }
 
 func BenchmarkSVDTall(b *testing.B) {
+	b.ReportAllocs()
 	// Exercises the QR-first reduction path (m ≥ 2n).
 	rng := testutil.NewRand(4)
 	a := testutil.RandomDense(2048, 96, rng)
@@ -45,6 +49,7 @@ func BenchmarkSVDTall(b *testing.B) {
 }
 
 func BenchmarkJacobiSVD64(b *testing.B) {
+	b.ReportAllocs()
 	rng := testutil.NewRand(5)
 	a := testutil.RandomDense(64, 64, rng)
 	b.ResetTimer()
@@ -54,6 +59,7 @@ func BenchmarkJacobiSVD64(b *testing.B) {
 }
 
 func BenchmarkEigSym96(b *testing.B) {
+	b.ReportAllocs()
 	rng := testutil.NewRand(6)
 	eigs := make([]float64, 96)
 	for i := range eigs {

@@ -72,7 +72,7 @@ func JacobiSVD(a *mat.Dense) (u *mat.Dense, s []float64, v *mat.Dense) {
 			}
 		}
 	}
-	sortSVDDescending(u, s, v)
+	sortSVDDescending(nil, u, s, v)
 	return u, s, v
 }
 
@@ -156,7 +156,7 @@ func EigSym(a *mat.Dense) (eigs []float64, v *mat.Dense) {
 	for i, j := range idx {
 		sorted[i] = eigs[j]
 	}
-	permuteColumns(v, idx)
+	permuteColumns(nil, v, idx)
 	return sorted, v
 }
 

@@ -7,6 +7,11 @@
 // All routines operate on mat.Dense values and never modify their inputs.
 // Factorizations use deterministic sign conventions where noted so that
 // results are reproducible across serial and distributed code paths.
+//
+// Every decomposition has a *With variant taking a mat.Workspace; the
+// streaming engines call those in their per-batch hot paths so temporaries
+// are recycled across iterations instead of reallocated. A nil workspace
+// falls back to plain allocation.
 package linalg
 
 import (
@@ -19,36 +24,43 @@ import (
 // QR computes the thin (reduced) QR factorization A = Q·R of an m×n matrix,
 // matching numpy.linalg.qr's "reduced" mode: Q is m×t and R is t×n with
 // t = min(m, n). Q has orthonormal columns and R is upper triangular.
-func QR(a *mat.Dense) (q, r *mat.Dense) {
+func QR(a *mat.Dense) (q, r *mat.Dense) { return QRWith(nil, a) }
+
+// QRWith is QR drawing every temporary and both returned factors from ws.
+// The caller owns q and r and may return them to the workspace when done.
+func QRWith(ws *mat.Workspace, a *mat.Dense) (q, r *mat.Dense) {
 	m, n := a.Dims()
 	t := m
 	if n < t {
 		t = n
 	}
-	w := a.Clone() // Householder vectors accumulate below the diagonal.
-	tau := make([]float64, t)
+	w := ws.GetUninit(m, n) // Householder vectors accumulate below the diagonal.
+	w.CopyFrom(a)
+	tau := ws.GetFloats(t)
+	s := ws.GetFloats(n) // rank-1 update scratch shared by every reflector
 
 	for k := 0; k < t; k++ {
-		tau[k] = houseColumn(w, k)
+		tau[k] = houseColumn(w, k, s)
 	}
 
 	// Extract R: the upper triangle of the first t rows of w.
-	r = mat.New(t, n)
+	r = ws.Get(t, n)
 	for i := 0; i < t; i++ {
-		for j := i; j < n; j++ {
-			r.Set(i, j, w.At(i, j))
-		}
+		copy(r.RawData()[i*n+i:(i+1)*n], w.RawData()[i*n+i:(i+1)*n])
 	}
 
 	// Backward accumulation of Q = H_0·H_1···H_{t-1} applied to the first t
 	// columns of the identity.
-	q = mat.New(m, t)
+	q = ws.Get(m, t)
 	for j := 0; j < t; j++ {
 		q.Set(j, j, 1)
 	}
 	for k := t - 1; k >= 0; k-- {
-		applyHouseLeft(q, w, k, tau[k])
+		applyHouseLeft(q, w, k, tau[k], s)
 	}
+	ws.PutFloats(s)
+	ws.PutFloats(tau)
+	ws.Put(w)
 	return q, r
 }
 
@@ -56,20 +68,23 @@ func QR(a *mat.Dense) (q, r *mat.Dense) {
 // below the diagonal, stores the essential part of the vector in place
 // (w[k+1:,k]), writes the resulting R entry at (k,k) and applies the
 // reflector to the trailing columns. It returns tau such that
-// H = I - tau·v·vᵀ with v[k] = 1.
-func houseColumn(w *mat.Dense, k int) float64 {
+// H = I - tau·v·vᵀ with v[k] = 1. s is caller-provided scratch of length
+// ≥ n; the trailing update runs row-wise (two passes accumulating
+// s = vᵀW, then W -= tau·v·sᵀ) so memory is walked contiguously.
+func houseColumn(w *mat.Dense, k int, s []float64) float64 {
 	m, n := w.Dims()
+	data := w.RawData()
 	// Norm of the column below and including the diagonal.
 	norm := 0.0
-	for i := k; i < m; i++ {
-		v := w.At(i, k)
+	for idx := k*n + k; idx < m*n; idx += n {
+		v := data[idx]
 		norm += v * v
 	}
 	norm = math.Sqrt(norm)
 	if norm == 0 {
 		return 0
 	}
-	alpha := w.At(k, k)
+	alpha := data[k*n+k]
 	// Choose the sign that avoids cancellation: beta = -sign(alpha)·‖x‖.
 	beta := -norm
 	if alpha < 0 {
@@ -77,23 +92,43 @@ func houseColumn(w *mat.Dense, k int) float64 {
 	}
 	// v = x - beta·e_k, normalized so v[k] = 1.
 	v0 := alpha - beta
-	for i := k + 1; i < m; i++ {
-		w.Set(i, k, w.At(i, k)/v0)
+	for idx := (k+1)*n + k; idx < m*n; idx += n {
+		data[idx] /= v0
 	}
 	tau := (beta - alpha) / beta
-	w.Set(k, k, beta)
+	data[k*n+k] = beta
 
-	// Apply H to the trailing columns: for each column j > k,
-	// x_j -= tau·(vᵀx_j)·v.
-	for j := k + 1; j < n; j++ {
-		s := w.At(k, j) // v[k] = 1
-		for i := k + 1; i < m; i++ {
-			s += w.At(i, k) * w.At(i, j)
+	// Apply H to the trailing columns: s = vᵀ·W[:, k+1:], then
+	// W[:, k+1:] -= tau·v·sᵀ, row by row.
+	cols := n - (k + 1)
+	if cols == 0 {
+		return tau
+	}
+	s = s[:cols]
+	copy(s, data[k*n+k+1:(k+1)*n]) // v[k] = 1
+	for i := k + 1; i < m; i++ {
+		vi := data[i*n+k]
+		if vi == 0 {
+			continue
 		}
-		s *= tau
-		w.Set(k, j, w.At(k, j)-s)
-		for i := k + 1; i < m; i++ {
-			w.Set(i, j, w.At(i, j)-s*w.At(i, k))
+		row := data[i*n+k+1 : (i+1)*n]
+		for j, wv := range row {
+			s[j] += vi * wv
+		}
+	}
+	krow := data[k*n+k+1 : (k+1)*n]
+	for j := range s {
+		s[j] *= tau
+		krow[j] -= s[j]
+	}
+	for i := k + 1; i < m; i++ {
+		vi := data[i*n+k]
+		if vi == 0 {
+			continue
+		}
+		row := data[i*n+k+1 : (i+1)*n]
+		for j, sv := range s {
+			row[j] -= sv * vi
 		}
 	}
 	return tau
@@ -101,21 +136,40 @@ func houseColumn(w *mat.Dense, k int) float64 {
 
 // applyHouseLeft applies the k-th stored reflector H = I - tau·v·vᵀ to every
 // column of q in place, where v is stored in column k of w below the
-// diagonal with implicit v[k] = 1.
-func applyHouseLeft(q, w *mat.Dense, k int, tau float64) {
+// diagonal with implicit v[k] = 1. s is caller-provided scratch of length
+// ≥ q.Cols(); the update runs row-wise like houseColumn's.
+func applyHouseLeft(q, w *mat.Dense, k int, tau float64, s []float64) {
 	if tau == 0 {
 		return
 	}
 	m, p := q.Dims()
-	for j := 0; j < p; j++ {
-		s := q.At(k, j)
-		for i := k + 1; i < m; i++ {
-			s += w.At(i, k) * q.At(i, j)
+	qd, wd := q.RawData(), w.RawData()
+	wcols := w.Cols()
+	s = s[:p]
+	copy(s, qd[k*p:(k+1)*p])
+	for i := k + 1; i < m; i++ {
+		vi := wd[i*wcols+k]
+		if vi == 0 {
+			continue
 		}
-		s *= tau
-		q.Set(k, j, q.At(k, j)-s)
-		for i := k + 1; i < m; i++ {
-			q.Set(i, j, q.At(i, j)-s*w.At(i, k))
+		row := qd[i*p : (i+1)*p]
+		for j, qv := range row {
+			s[j] += vi * qv
+		}
+	}
+	krow := qd[k*p : (k+1)*p]
+	for j := range s {
+		s[j] *= tau
+		krow[j] -= s[j]
+	}
+	for i := k + 1; i < m; i++ {
+		vi := wd[i*wcols+k]
+		if vi == 0 {
+			continue
+		}
+		row := qd[i*p : (i+1)*p]
+		for j, sv := range s {
+			row[j] -= sv * vi
 		}
 	}
 }

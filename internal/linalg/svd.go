@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"goparsvd/internal/mat"
 )
@@ -30,21 +30,35 @@ var errNoConvergence = errors.New("linalg: Golub-Reinsch SVD did not converge")
 // expensive iteration runs on the small n×n triangular factor — the same
 // strategy the paper leans on throughout (Algorithm 1, step I1/I2).
 func SVD(a *mat.Dense) (u *mat.Dense, s []float64, v *mat.Dense) {
+	return SVDWith(nil, a)
+}
+
+// SVDWith is SVD drawing temporaries and the returned factors from ws. The
+// caller owns u, s and v and may return them to the workspace when done.
+func SVDWith(ws *mat.Workspace, a *mat.Dense) (u *mat.Dense, s []float64, v *mat.Dense) {
 	m, n := a.Dims()
 	if m == 0 || n == 0 {
 		return mat.New(m, 0), nil, mat.New(n, 0)
 	}
 	if m < n {
 		// SVD(Aᵀ) = V·S·Uᵀ: swap the roles of the factor matrices.
-		vt, s, ut := SVD(a.T())
+		at := ws.GetUninit(n, m)
+		a.TInto(at)
+		vt, s, ut := SVDWith(ws, at)
+		ws.Put(at)
 		return ut, s, vt
 	}
 	if m >= 2*n {
-		q, r := QR(a)
-		ur, s, v := svdSquareish(r)
-		return mat.Mul(q, ur), s, v
+		q, r := QRWith(ws, a)
+		ur, s, v := svdSquareish(ws, r)
+		u := ws.GetUninit(m, ur.Cols())
+		mat.MulInto(u, q, ur)
+		ws.Put(q)
+		ws.Put(r)
+		ws.Put(ur)
+		return u, s, v
 	}
-	return svdSquareish(a)
+	return svdSquareish(ws, a)
 }
 
 // SVDTruncated computes the thin SVD and keeps only the leading k triplets.
@@ -62,55 +76,76 @@ func SVDTruncated(a *mat.Dense, k int) (u *mat.Dense, s []float64, v *mat.Dense)
 
 // svdSquareish runs Golub–Reinsch on an m×n matrix with m ≥ n, falling back
 // to one-sided Jacobi if the iteration fails to converge.
-func svdSquareish(a *mat.Dense) (u *mat.Dense, s []float64, v *mat.Dense) {
-	m, n := a.Dims()
-	uw := a.Clone()
-	s = make([]float64, n)
-	v = mat.New(n, n)
+func svdSquareish(ws *mat.Workspace, a *mat.Dense) (u *mat.Dense, s []float64, v *mat.Dense) {
+	_, n := a.Dims()
+	uw := ws.GetUninit(a.Rows(), n)
+	uw.CopyFrom(a)
+	s = ws.GetFloats(n)
+	v = ws.Get(n, n)
 	if err := golubReinsch(uw, s, v); err != nil {
+		ws.Put(uw)
+		ws.Put(v)
+		ws.PutFloats(s)
 		return JacobiSVD(a)
 	}
-	sortSVDDescending(uw, s, v)
+	sortSVDDescending(ws, uw, s, v)
 	// Zero out numerically negative values introduced by sign flips.
 	for i, sv := range s {
 		if sv < 0 {
 			s[i] = 0
 		}
 	}
-	_ = m
 	return uw, s, v
 }
 
 // sortSVDDescending reorders the SVD triplets in place so the singular
 // values are non-increasing; U and V columns are permuted consistently.
-func sortSVDDescending(u *mat.Dense, s []float64, v *mat.Dense) {
+func sortSVDDescending(ws *mat.Workspace, u *mat.Dense, s []float64, v *mat.Dense) {
 	n := len(s)
-	idx := make([]int, n)
+	idx := ws.GetInts(n)
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return s[idx[a]] > s[idx[b]] })
-	permuteColumns(u, idx)
-	permuteColumns(v, idx)
-	ss := make([]float64, n)
+	// Stable insertion sort, descending: the values arrive nearly ordered
+	// and, unlike sort.SliceStable, this allocates nothing.
+	for i := 1; i < n; i++ {
+		k := idx[i]
+		key := s[k]
+		j := i - 1
+		for j >= 0 && s[idx[j]] < key {
+			idx[j+1] = idx[j]
+			j--
+		}
+		idx[j+1] = k
+	}
+	permuteColumns(ws, u, idx)
+	permuteColumns(ws, v, idx)
+	ss := ws.GetFloats(n)
 	for i, j := range idx {
 		ss[i] = s[j]
 	}
 	copy(s, ss)
+	ws.PutFloats(ss)
+	ws.PutInts(idx)
 }
 
 // permuteColumns rearranges the columns of m so that new column i is old
-// column idx[i].
-func permuteColumns(m *mat.Dense, idx []int) {
+// column idx[i], row by row through a workspace staging buffer.
+func permuteColumns(ws *mat.Workspace, m *mat.Dense, idx []int) {
 	r, c := m.Dims()
 	if len(idx) != c {
 		panic(fmt.Sprintf("linalg: permutation length %d, want %d", len(idx), c))
 	}
-	tmp := mat.New(r, c)
-	for newJ, oldJ := range idx {
-		tmp.SetCol(newJ, m.Col(oldJ))
+	tmp := ws.GetUninit(r, c)
+	td, md := tmp.RawData(), m.RawData()
+	for i := 0; i < r; i++ {
+		trow, mrow := td[i*c:(i+1)*c], md[i*c:(i+1)*c]
+		for newJ, oldJ := range idx {
+			trow[newJ] = mrow[oldJ]
+		}
 	}
 	m.CopyFrom(tmp)
+	ws.Put(tmp)
 }
 
 // pythag returns sqrt(a²+b²) without destructive underflow or overflow.
@@ -135,6 +170,30 @@ func signOf(a, b float64) float64 {
 	return -math.Abs(a)
 }
 
+// grScratch holds the per-call views and workspace of golubReinsch, pooled
+// so steady-state streaming updates don't reallocate them every iteration.
+type grScratch struct {
+	u, v [][]float64
+	rv1  []float64
+}
+
+func (g *grScratch) ensure(m, n int) {
+	if cap(g.u) < m {
+		g.u = make([][]float64, m)
+	}
+	g.u = g.u[:m]
+	if cap(g.v) < n {
+		g.v = make([][]float64, n)
+	}
+	g.v = g.v[:n]
+	if cap(g.rv1) < n {
+		g.rv1 = make([]float64, n)
+	}
+	g.rv1 = g.rv1[:n]
+}
+
+var grPool = sync.Pool{New: func() any { return new(grScratch) }}
+
 // golubReinsch performs the classical Golub–Reinsch SVD of the m×n matrix
 // stored in u (m ≥ n): Householder bidiagonalization followed by implicit
 // shifted QR on the bidiagonal form. On return u holds the left singular
@@ -145,16 +204,16 @@ func signOf(a, b float64) float64 {
 // Reinsch as popularized by the svdcmp formulation.
 func golubReinsch(uD *mat.Dense, w []float64, vD *mat.Dense) error {
 	m, n := uD.Dims()
-	u := make([][]float64, m)
+	sc := grPool.Get().(*grScratch)
+	defer grPool.Put(sc)
+	sc.ensure(m, n)
+	u, v, rv1 := sc.u, sc.v, sc.rv1
 	for i := range u {
 		u[i] = uD.RowView(i)
 	}
-	v := make([][]float64, n)
 	for i := range v {
 		v[i] = vD.RowView(i)
 	}
-
-	rv1 := make([]float64, n)
 	var g, scale, anorm float64
 	var l int
 

@@ -418,7 +418,7 @@ func TestGolubReinschConvergesOnSnapshotGram(t *testing.T) {
 	if err := golubReinsch(uw, s, vv); err != nil {
 		t.Fatalf("Golub-Reinsch fell back on a snapshot-Gram spectrum: %v", err)
 	}
-	sortSVDDescending(uw, s, vv)
+	sortSVDDescending(nil, uw, s, vv)
 	if math.Abs(s[0]-spectrum[0]) > 1e-8*spectrum[0] {
 		t.Fatalf("sigma_1 = %g, want %g", s[0], spectrum[0])
 	}

@@ -15,6 +15,7 @@ func benchMatrix(r, c int, seed int64) *Dense {
 }
 
 func BenchmarkMulSquare256(b *testing.B) {
+	b.ReportAllocs()
 	x := benchMatrix(256, 256, 1)
 	y := benchMatrix(256, 256, 2)
 	b.ResetTimer()
@@ -24,7 +25,31 @@ func BenchmarkMulSquare256(b *testing.B) {
 	b.SetBytes(int64(8 * 256 * 256))
 }
 
+func BenchmarkMulSquare512(b *testing.B) {
+	b.ReportAllocs()
+	x := benchMatrix(512, 512, 10)
+	y := benchMatrix(512, 512, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+	b.SetBytes(int64(8 * 512 * 512))
+}
+
+func BenchmarkMulIntoSquare256(b *testing.B) {
+	// The allocation-free entry point the streaming hot paths use.
+	b.ReportAllocs()
+	x := benchMatrix(256, 256, 12)
+	y := benchMatrix(256, 256, 13)
+	out := New(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulInto(out, x, y)
+	}
+}
+
 func BenchmarkMulTallSkinny(b *testing.B) {
+	b.ReportAllocs()
 	// The library's dominant shape: very tall times small.
 	x := benchMatrix(16384, 64, 3)
 	y := benchMatrix(64, 64, 4)
@@ -35,6 +60,7 @@ func BenchmarkMulTallSkinny(b *testing.B) {
 }
 
 func BenchmarkMulTransAGram(b *testing.B) {
+	b.ReportAllocs()
 	// Gram matrix formation AᵀA, the method-of-snapshots kernel.
 	x := benchMatrix(8192, 96, 5)
 	b.ResetTimer()
@@ -44,6 +70,7 @@ func BenchmarkMulTransAGram(b *testing.B) {
 }
 
 func BenchmarkTranspose(b *testing.B) {
+	b.ReportAllocs()
 	x := benchMatrix(1024, 512, 6)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -52,6 +79,7 @@ func BenchmarkTranspose(b *testing.B) {
 }
 
 func BenchmarkHStack(b *testing.B) {
+	b.ReportAllocs()
 	x := benchMatrix(4096, 32, 7)
 	y := benchMatrix(4096, 32, 8)
 	b.ResetTimer()
@@ -61,6 +89,7 @@ func BenchmarkHStack(b *testing.B) {
 }
 
 func BenchmarkFroNorm(b *testing.B) {
+	b.ReportAllocs()
 	x := benchMatrix(2048, 256, 9)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

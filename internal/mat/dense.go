@@ -4,9 +4,16 @@
 // The package deliberately mirrors the small slice of NumPy that PyParSVD
 // uses: construction, slicing, stacking, transposition, matrix products and
 // norms. Matrices own their backing storage; slicing operations copy, so a
-// Dense value can always be mutated without aliasing surprises. The matrix
-// product is cache-blocked and, for large operands, parallelized across
-// GOMAXPROCS goroutines.
+// Dense value can always be mutated without aliasing surprises.
+//
+// The matrix product (gemm.go) is a cache-blocked, packed GEMM: operand
+// panels are copied into micro-tile-ordered buffers sized for L1/L2, the
+// inner loop is an 8×4 register micro-kernel (AVX2/FMA assembly on amd64,
+// an unrolled pure-Go kernel elsewhere), and large products fan their
+// A-panel blocks out to a persistent worker pool (pool.go) instead of
+// spawning goroutines per call. Hot paths use the allocation-free *Into
+// entry points together with a Workspace (workspace.go), a buffer pool
+// that lets iterative algorithms reuse every temporary across iterations.
 package mat
 
 import (
@@ -181,13 +188,23 @@ func (m *Dense) CopyFrom(src *Dense) {
 // T returns the transpose as a new matrix.
 func (m *Dense) T() *Dense {
 	out := New(m.cols, m.rows)
+	m.TInto(out)
+	return out
+}
+
+// TInto writes the transpose of m into dst without allocating. dst must be
+// Cols()×Rows() and must not alias m.
+func (m *Dense) TInto(dst *Dense) {
+	if dst.rows != m.cols || dst.cols != m.rows {
+		panic(fmt.Sprintf("mat: TInto destination is %dx%d, want %dx%d",
+			dst.rows, dst.cols, m.cols, m.rows))
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		for j, v := range row {
-			out.data[j*m.rows+i] = v
+			dst.data[j*m.rows+i] = v
 		}
 	}
-	return out
 }
 
 // Slice returns a copy of the submatrix with rows [r0,r1) and columns
@@ -206,6 +223,22 @@ func (m *Dense) Slice(r0, r1, c0, c1 int) *Dense {
 
 // SliceCols returns a copy of columns [c0,c1).
 func (m *Dense) SliceCols(c0, c1 int) *Dense { return m.Slice(0, m.rows, c0, c1) }
+
+// SliceColsInto copies columns [c0,c1) into dst without allocating. dst
+// must be Rows()×(c1−c0).
+func (m *Dense) SliceColsInto(dst *Dense, c0, c1 int) {
+	if c0 < 0 || c1 > m.cols || c0 > c1 {
+		panic(fmt.Sprintf("mat: slice [%d:%d] out of bounds for %dx%d",
+			c0, c1, m.rows, m.cols))
+	}
+	if dst.rows != m.rows || dst.cols != c1-c0 {
+		panic(fmt.Sprintf("mat: SliceColsInto destination is %dx%d, want %dx%d",
+			dst.rows, dst.cols, m.rows, c1-c0))
+	}
+	for i := 0; i < m.rows; i++ {
+		copy(dst.data[i*dst.cols:(i+1)*dst.cols], m.data[i*m.cols+c0:i*m.cols+c1])
+	}
+}
 
 // SliceRows returns a copy of rows [r0,r1).
 func (m *Dense) SliceRows(r0, r1 int) *Dense { return m.Slice(r0, r1, 0, m.cols) }

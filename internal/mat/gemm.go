@@ -1,0 +1,270 @@
+package mat
+
+// Blocked, packed GEMM in the BLIS/GotoBLAS style. The operand panels are
+// copied ("packed") into contiguous, micro-tile-ordered buffers sized for
+// the cache hierarchy, and the innermost computation is an mr×nr = 8×4
+// register micro-kernel (AVX2/FMA assembly on amd64, unrolled Go
+// elsewhere). Both transposed variants are handled at packing time, so a
+// single macro/micro kernel serves Mul, MulTransA and MulTransB. Large
+// products split their A-panel (row) blocks across the persistent worker
+// pool in pool.go.
+//
+// Loop structure (jc → pc → ic → ir → jr), with C accumulated across pc:
+//
+//	for jc over columns of C, step nc:          B panel → L3
+//	  for pc over the inner dimension, step kc: pack B(kc×nc)
+//	    for ic over rows of C, step mc:         pack A(mc×kc) → L2
+//	      for ir over mc, step 8:               A micro-panel
+//	        for jr over nc, step 4:             8×4 register tile
+
+const (
+	// mr×nr is the register micro-tile. The AVX2/FMA assembly kernel
+	// (gemm_amd64.s) keeps the 8×4 C tile in eight YMM accumulators; the
+	// portable Go kernel covers the same strip as two 4×4 halves.
+	mr = 8
+	nr = 4
+
+	// kcBlock × nr doubles (8 KiB) is the B micro-panel the inner loop
+	// streams from L1; mcBlock × kcBlock doubles (256 KiB) is the packed A
+	// panel that should stay L2-resident.
+	kcBlock = 256
+	mcBlock = 128
+	ncBlock = 512
+
+	// smallGemmFlops is the m·k·n product below which packing overhead
+	// outweighs the micro-kernel win and a plain i-k-j loop is faster.
+	smallGemmFlops = 16 * 16 * 16
+)
+
+// gemm computes out = op(a)·op(b), overwriting out. op is the identity or
+// the transpose according to transA/transB. out must not alias a or b.
+func gemm(out, a, b *Dense, transA, transB bool) {
+	m, n := out.rows, out.cols
+	k := a.cols
+	if transA {
+		k = a.rows
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	zeroFloats(out.data)
+	if k == 0 {
+		return
+	}
+	if m*n*k <= smallGemmFlops {
+		gemmSmall(out, a, b, transA, transB)
+		return
+	}
+
+	bbuf := getPackBuf()
+	defer putPackBuf(bbuf)
+	abuf := getPackBuf()
+	defer putPackBuf(abuf)
+
+	for jc := 0; jc < n; jc += ncBlock {
+		nc := min(ncBlock, n-jc)
+		for pc := 0; pc < k; pc += kcBlock {
+			kc := min(kcBlock, k-pc)
+			bp := bbuf.grow(roundUp(nc, nr) * kc)
+			packB(bp, b, pc, kc, jc, nc, transB)
+			dispatchRows(out, a, bp, pc, kc, jc, nc, transA, abuf)
+		}
+	}
+}
+
+// gemmSmall is the naive i-k-j product used when the operands are too small
+// to amortize packing.
+func gemmSmall(out, a, b *Dense, transA, transB bool) {
+	m, n := out.rows, out.cols
+	k := a.cols
+	if transA {
+		k = a.rows
+	}
+	for i := 0; i < m; i++ {
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			var av float64
+			if transA {
+				av = a.data[p*a.cols+i]
+			} else {
+				av = a.data[i*a.cols+p]
+			}
+			if av == 0 {
+				continue
+			}
+			if transB {
+				for j := 0; j < n; j++ {
+					orow[j] += av * b.data[j*b.cols+p]
+				}
+			} else {
+				brow := b.data[p*b.cols : p*b.cols+n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// packA copies the mc×kc block of op(a) starting at row ic, column pc into
+// ap, grouped in mr-row strips stored k-major: ap[strip*kc*mr + k*mr + r].
+// Rows beyond mc are zero-padded so the micro-kernel never branches on m.
+func packA(ap []float64, a *Dense, ic, mc, pc, kc int, transA bool) {
+	lda := a.cols
+	for ir := 0; ir < mc; ir += mr {
+		dst := ap[(ir/mr)*kc*mr : (ir/mr+1)*kc*mr]
+		rows := min(mr, mc-ir)
+		for r := 0; r < rows; r++ {
+			if transA {
+				// op(a)[ic+ir+r, pc+k] = a[pc+k, ic+ir+r]: strided read.
+				idx := pc*lda + (ic + ir + r)
+				for kk := 0; kk < kc; kk++ {
+					dst[kk*mr+r] = a.data[idx]
+					idx += lda
+				}
+			} else {
+				src := a.data[(ic+ir+r)*lda+pc : (ic+ir+r)*lda+pc+kc]
+				for kk, v := range src {
+					dst[kk*mr+r] = v
+				}
+			}
+		}
+		for r := rows; r < mr; r++ {
+			for kk := 0; kk < kc; kk++ {
+				dst[kk*mr+r] = 0
+			}
+		}
+	}
+}
+
+// packB copies the kc×nc block of op(b) starting at row pc, column jc into
+// bp, grouped in nr-column strips stored k-major: bp[strip*kc*nr + k*nr + c].
+// Columns beyond nc are zero-padded.
+func packB(bp []float64, b *Dense, pc, kc, jc, nc int, transB bool) {
+	ldb := b.cols
+	for jr := 0; jr < nc; jr += nr {
+		dst := bp[(jr/nr)*kc*nr : (jr/nr+1)*kc*nr]
+		cols := min(nr, nc-jr)
+		if !transB && cols == nr {
+			for kk := 0; kk < kc; kk++ {
+				src := b.data[(pc+kk)*ldb+jc+jr:]
+				d := dst[kk*nr : kk*nr+nr]
+				d[0], d[1], d[2], d[3] = src[0], src[1], src[2], src[3]
+			}
+			continue
+		}
+		for c := 0; c < cols; c++ {
+			if transB {
+				// op(b)[pc+k, jc+jr+c] = b[jc+jr+c, pc+k]: contiguous read.
+				src := b.data[(jc+jr+c)*ldb+pc : (jc+jr+c)*ldb+pc+kc]
+				for kk, v := range src {
+					dst[kk*nr+c] = v
+				}
+			} else {
+				idx := pc*ldb + (jc + jr + c)
+				for kk := 0; kk < kc; kk++ {
+					dst[kk*nr+c] = b.data[idx]
+					idx += ldb
+				}
+			}
+		}
+		for c := cols; c < nr; c++ {
+			for kk := 0; kk < kc; kk++ {
+				dst[kk*nr+c] = 0
+			}
+		}
+	}
+}
+
+// macroKernel accumulates the packed panels into C: the jr loop walks B
+// micro-panels (L1-resident across the ir loop), the ir loop walks A strips.
+// Each micro-kernel invocation computes one mr×nr product tile into a stack
+// buffer, which is then masked-added into C — the same write-back path for
+// the assembly and portable kernels.
+func macroKernel(out *Dense, ap, bp []float64, ic, mc, jc, nc, kc int) {
+	var tile [mr * nr]float64
+	for ir := 0; ir < mc; ir += mr {
+		app := ap[(ir/mr)*kc*mr : (ir/mr+1)*kc*mr]
+		rows := min(mr, mc-ir)
+		for jr := 0; jr < nc; jr += nr {
+			bpp := bp[(jr/nr)*kc*nr : (jr/nr+1)*kc*nr]
+			cols := min(nr, nc-jr)
+			if useFMA {
+				microFMA8x4(kc, &app[0], &bpp[0], &tile[0])
+			} else {
+				microGo8x4(kc, app, bpp, &tile)
+			}
+			addTile(out, &tile, ic+ir, jc+jr, rows, cols)
+		}
+	}
+}
+
+// microGo8x4 is the portable micro-kernel: the 8×4 strip is covered as two
+// register-resident 4×4 halves so the accumulators stay out of memory.
+func microGo8x4(kc int, ap, bp []float64, tile *[mr * nr]float64) {
+	for half := 0; half < 2; half++ {
+		var c00, c01, c02, c03 float64
+		var c10, c11, c12, c13 float64
+		var c20, c21, c22, c23 float64
+		var c30, c31, c32, c33 float64
+		ai := half * 4
+		bi := 0
+		for k := 0; k < kc; k++ {
+			a0, a1, a2, a3 := ap[ai], ap[ai+1], ap[ai+2], ap[ai+3]
+			b0, b1, b2, b3 := bp[bi], bp[bi+1], bp[bi+2], bp[bi+3]
+			c00 += a0 * b0
+			c01 += a0 * b1
+			c02 += a0 * b2
+			c03 += a0 * b3
+			c10 += a1 * b0
+			c11 += a1 * b1
+			c12 += a1 * b2
+			c13 += a1 * b3
+			c20 += a2 * b0
+			c21 += a2 * b1
+			c22 += a2 * b2
+			c23 += a2 * b3
+			c30 += a3 * b0
+			c31 += a3 * b1
+			c32 += a3 * b2
+			c33 += a3 * b3
+			ai += mr
+			bi += nr
+		}
+		o := half * 4 * nr
+		tile[o+0], tile[o+1], tile[o+2], tile[o+3] = c00, c01, c02, c03
+		tile[o+4], tile[o+5], tile[o+6], tile[o+7] = c10, c11, c12, c13
+		tile[o+8], tile[o+9], tile[o+10], tile[o+11] = c20, c21, c22, c23
+		tile[o+12], tile[o+13], tile[o+14], tile[o+15] = c30, c31, c32, c33
+	}
+}
+
+// addTile accumulates the rows×cols valid region of a computed micro-tile
+// into C at (i0, j0).
+func addTile(out *Dense, tile *[mr * nr]float64, i0, j0, rows, cols int) {
+	ldc := out.cols
+	if cols == nr {
+		for i := 0; i < rows; i++ {
+			c := out.data[(i0+i)*ldc+j0 : (i0+i)*ldc+j0+nr : (i0+i)*ldc+j0+nr]
+			c[0] += tile[i*nr]
+			c[1] += tile[i*nr+1]
+			c[2] += tile[i*nr+2]
+			c[3] += tile[i*nr+3]
+		}
+		return
+	}
+	for i := 0; i < rows; i++ {
+		crow := out.data[(i0+i)*ldc+j0 : (i0+i)*ldc+j0+cols]
+		for j := 0; j < cols; j++ {
+			crow[j] += tile[i*nr+j]
+		}
+	}
+}
+
+func roundUp(x, to int) int { return (x + to - 1) / to * to }
+
+func zeroFloats(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}

@@ -1,0 +1,19 @@
+//go:build amd64 && !purego
+
+package mat
+
+// useFMA routes the micro-kernel to the AVX2/FMA assembly in gemm_amd64.s
+// when the CPU and OS support it; otherwise the portable Go kernel runs.
+var useFMA = hasAVX2FMA()
+
+// hasAVX2FMA reports whether the processor supports AVX2 and FMA3 and the
+// OS has enabled YMM state saving (implemented in gemm_amd64.s).
+func hasAVX2FMA() bool
+
+// microFMA8x4 computes the 8×4 product tile dst = Ap·Bp over kc packed
+// k-steps: ap is an 8-row strip (k-major, 8 doubles per k), bp a 4-column
+// strip (k-major, 4 doubles per k), dst a 32-double row-major tile
+// (implemented in gemm_amd64.s).
+//
+//go:noescape
+func microFMA8x4(kc int, ap, bp, dst *float64)

@@ -1,0 +1,95 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func hasAVX2FMA() bool
+//
+// CPUID leaf 1 ECX: FMA (bit 12), OSXSAVE (bit 27), AVX (bit 28);
+// XGETBV(0): XMM|YMM state enabled by the OS (bits 1-2);
+// CPUID leaf 7 EBX: AVX2 (bit 5).
+TEXT ·hasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $(1<<12 | 1<<27 | 1<<28), R8
+	CMPL R8, $(1<<12 | 1<<27 | 1<<28)
+	JNE  notsupported
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  notsupported
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<5), BX
+	JZ   notsupported
+	MOVB $1, ret+0(FP)
+	RET
+
+notsupported:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func microFMA8x4(kc int, ap, bp, dst *float64)
+//
+// One 8×4 micro-tile of the blocked GEMM: ap holds an 8-row packed A strip
+// (8 doubles per k-step), bp a 4-column packed B strip (4 doubles per
+// k-step). The 8×4 C tile lives in Y0–Y7 (row i in Y_i); every k-step is
+// one B-vector load plus eight broadcast-FMAs. The finished tile is stored
+// row-major to dst (8 rows × 4 doubles = 32 doubles).
+TEXT ·microFMA8x4(SB), NOSPLIT, $0-32
+	MOVQ kc+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DI
+	MOVQ dst+24(FP), DX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	TESTQ CX, CX
+	JZ    store
+
+loop:
+	VMOVUPD (DI), Y8              // b[0:4] for this k-step
+
+	VBROADCASTSD 0(SI), Y9
+	VBROADCASTSD 8(SI), Y10
+	VFMADD231PD  Y8, Y9, Y0
+	VFMADD231PD  Y8, Y10, Y1
+	VBROADCASTSD 16(SI), Y11
+	VBROADCASTSD 24(SI), Y12
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y8, Y12, Y3
+	VBROADCASTSD 32(SI), Y9
+	VBROADCASTSD 40(SI), Y10
+	VFMADD231PD  Y8, Y9, Y4
+	VFMADD231PD  Y8, Y10, Y5
+	VBROADCASTSD 48(SI), Y11
+	VBROADCASTSD 56(SI), Y12
+	VFMADD231PD  Y8, Y11, Y6
+	VFMADD231PD  Y8, Y12, Y7
+
+	ADDQ $64, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  loop
+
+store:
+	VMOVUPD Y0, 0(DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, 64(DX)
+	VMOVUPD Y3, 96(DX)
+	VMOVUPD Y4, 128(DX)
+	VMOVUPD Y5, 160(DX)
+	VMOVUPD Y6, 192(DX)
+	VMOVUPD Y7, 224(DX)
+	VZEROUPPER
+	RET

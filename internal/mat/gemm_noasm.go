@@ -1,0 +1,11 @@
+//go:build !amd64 || purego
+
+package mat
+
+// Without the AVX2/FMA assembly kernel every micro-tile runs through the
+// portable Go kernel.
+const useFMA = false
+
+func microFMA8x4(kc int, ap, bp, dst *float64) {
+	panic("mat: microFMA8x4 called without assembly support")
+}

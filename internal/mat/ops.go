@@ -3,14 +3,7 @@ package mat
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 )
-
-// parallelFlopThreshold is the approximate flop count above which Mul spreads
-// the row blocks of the output across goroutines. Below it the scheduling
-// overhead dominates any speedup.
-const parallelFlopThreshold = 1 << 20
 
 // Add returns a + b. It panics on dimension mismatch.
 func Add(a, b *Dense) *Dense {
@@ -65,156 +58,114 @@ func checkSameDims(op string, a, b *Dense) {
 	}
 }
 
-// Mul returns the matrix product a*b. The inner loops are arranged in i-k-j
-// order so the innermost traversal is contiguous in both b and the output;
-// large products are split row-wise across goroutines.
+// Mul returns the matrix product a*b, computed by the blocked GEMM kernel
+// in gemm.go.
 func Mul(a, b *Dense) *Dense {
+	out := New(a.rows, b.cols)
+	MulInto(out, a, b)
+	return out
+}
+
+// MulInto computes dst = a*b without allocating. dst must be a.Rows() ×
+// b.Cols() and must not alias a or b.
+func MulInto(dst, a, b *Dense) {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d",
 			a.rows, a.cols, b.rows, b.cols))
 	}
-	out := New(a.rows, b.cols)
-	mulInto(out, a, b)
-	return out
-}
-
-func mulInto(out, a, b *Dense) {
-	flops := a.rows * a.cols * b.cols
-	workers := runtime.GOMAXPROCS(0)
-	if flops < parallelFlopThreshold || workers < 2 || a.rows < 2*workers {
-		mulRows(out, a, b, 0, a.rows)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (a.rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		r0 := w * chunk
-		if r0 >= a.rows {
-			break
-		}
-		r1 := r0 + chunk
-		if r1 > a.rows {
-			r1 = a.rows
-		}
-		wg.Add(1)
-		go func(r0, r1 int) {
-			defer wg.Done()
-			mulRows(out, a, b, r0, r1)
-		}(r0, r1)
-	}
-	wg.Wait()
-}
-
-// mulRows computes rows [r0,r1) of out = a*b.
-func mulRows(out, a, b *Dense, r0, r1 int) {
-	n, p := a.cols, b.cols
-	for i := r0; i < r1; i++ {
-		arow := a.data[i*n : (i+1)*n]
-		orow := out.data[i*p : (i+1)*p]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.data[k*p : (k+1)*p]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	checkDims("MulInto", dst, a.rows, b.cols)
+	gemm(dst, a, b, false, false)
 }
 
 // MulTransA returns aᵀ*b without materializing the transpose.
 func MulTransA(a, b *Dense) *Dense {
+	out := New(a.cols, b.cols)
+	MulTransAInto(out, a, b)
+	return out
+}
+
+// MulTransAInto computes dst = aᵀ*b without allocating. dst must be
+// a.Cols() × b.Cols() and must not alias a or b.
+func MulTransAInto(dst, a, b *Dense) {
 	if a.rows != b.rows {
 		panic(fmt.Sprintf("mat: MulTransA dimension mismatch %dx%d ᵀ* %dx%d",
 			a.rows, a.cols, b.rows, b.cols))
 	}
-	out := New(a.cols, b.cols)
-	m, n, p := a.rows, a.cols, b.cols
-	workers := runtime.GOMAXPROCS(0)
-	if m*n*p < parallelFlopThreshold || workers < 2 || n < 2*workers {
-		mulTransARows(out, a, b, 0, n)
-		return out
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		c0 := w * chunk
-		if c0 >= n {
-			break
-		}
-		c1 := c0 + chunk
-		if c1 > n {
-			c1 = n
-		}
-		wg.Add(1)
-		go func(c0, c1 int) {
-			defer wg.Done()
-			mulTransARows(out, a, b, c0, c1)
-		}(c0, c1)
-	}
-	wg.Wait()
-	return out
-}
-
-// mulTransARows computes rows [c0,c1) of out = aᵀ*b (rows of out correspond
-// to columns of a).
-func mulTransARows(out, a, b *Dense, c0, c1 int) {
-	m, n, p := a.rows, a.cols, b.cols
-	for k := 0; k < m; k++ {
-		arow := a.data[k*n : (k+1)*n]
-		brow := b.data[k*p : (k+1)*p]
-		for i := c0; i < c1; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			orow := out.data[i*p : (i+1)*p]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	checkDims("MulTransAInto", dst, a.cols, b.cols)
+	gemm(dst, a, b, true, false)
 }
 
 // MulTransB returns a*bᵀ without materializing the transpose.
 func MulTransB(a, b *Dense) *Dense {
+	out := New(a.rows, b.rows)
+	MulTransBInto(out, a, b)
+	return out
+}
+
+// MulTransBInto computes dst = a*bᵀ without allocating. dst must be
+// a.Rows() × b.Rows() and must not alias a or b.
+func MulTransBInto(dst, a, b *Dense) {
 	if a.cols != b.cols {
 		panic(fmt.Sprintf("mat: MulTransB dimension mismatch %dx%d *ᵀ %dx%d",
 			a.rows, a.cols, b.rows, b.cols))
 	}
-	out := New(a.rows, b.rows)
-	n := a.cols
-	for i := 0; i < a.rows; i++ {
-		arow := a.data[i*n : (i+1)*n]
-		orow := out.data[i*b.rows : (i+1)*b.rows]
-		for j := 0; j < b.rows; j++ {
-			brow := b.data[j*n : (j+1)*n]
-			s := 0.0
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			orow[j] = s
-		}
+	checkDims("MulTransBInto", dst, a.rows, b.rows)
+	gemm(dst, a, b, false, true)
+}
+
+func checkDims(op string, m *Dense, r, c int) {
+	if m.rows != r || m.cols != c {
+		panic(fmt.Sprintf("mat: %s destination is %dx%d, want %dx%d",
+			op, m.rows, m.cols, r, c))
 	}
-	return out
+}
+
+// ScaleInto computes dst = s*a without allocating. dst may alias a.
+func ScaleInto(dst *Dense, s float64, a *Dense) {
+	checkSameDims("ScaleInto", dst, a)
+	for i, v := range a.data {
+		dst.data[i] = s * v
+	}
 }
 
 // MulDiag returns a*diag(d), scaling column j of a by d[j]. It panics unless
 // len(d) == a.Cols().
 func MulDiag(a *Dense, d []float64) *Dense {
+	out := New(a.rows, a.cols)
+	MulDiagInto(out, a, d)
+	return out
+}
+
+// MulDiagInto computes dst = a*diag(d) without allocating. dst may alias a.
+func MulDiagInto(dst, a *Dense, d []float64) {
 	if len(d) != a.cols {
 		panic(fmt.Sprintf("mat: MulDiag length %d, want %d", len(d), a.cols))
 	}
-	out := New(a.rows, a.cols)
+	checkSameDims("MulDiagInto", dst, a)
 	for i := 0; i < a.rows; i++ {
 		row := a.data[i*a.cols : (i+1)*a.cols]
-		orow := out.data[i*a.cols : (i+1)*a.cols]
+		orow := dst.data[i*a.cols : (i+1)*a.cols]
 		for j, v := range row {
 			orow[j] = v * d[j]
 		}
 	}
-	return out
+}
+
+// MulDiagScaledInto computes dst = s*a*diag(d) in one pass — the fused form
+// the streaming update uses to fold the forget factor into the column
+// scaling without an intermediate matrix. dst may alias a.
+func MulDiagScaledInto(dst *Dense, s float64, a *Dense, d []float64) {
+	if len(d) != a.cols {
+		panic(fmt.Sprintf("mat: MulDiagScaledInto length %d, want %d", len(d), a.cols))
+	}
+	checkSameDims("MulDiagScaledInto", dst, a)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		orow := dst.data[i*a.cols : (i+1)*a.cols]
+		for j, v := range row {
+			orow[j] = s * v * d[j]
+		}
+	}
 }
 
 // DiagMul returns diag(d)*a, scaling row i of a by d[i]. It panics unless
@@ -293,14 +244,42 @@ func HStack(ms ...*Dense) *Dense {
 		return New(0, 0)
 	}
 	out := New(rows, cols)
+	hstackInto(out, kept)
+	return out
+}
+
+// HStackInto writes the column-wise concatenation [a | b | ...] into dst
+// without allocating. dst must already have the stacked shape; nil operands
+// are skipped. dst must not alias any operand.
+func HStackInto(dst *Dense, ms ...*Dense) {
+	var keptArr [8]*Dense // avoids a heap allocation for the common arities
+	kept := keptArr[:0]
+	cols := 0
+	for _, m := range ms {
+		if m == nil {
+			continue
+		}
+		if m.rows != dst.rows {
+			panic(fmt.Sprintf("mat: HStack row mismatch %d vs %d", m.rows, dst.rows))
+		}
+		cols += m.cols
+		kept = append(kept, m)
+	}
+	if cols != dst.cols {
+		panic(fmt.Sprintf("mat: HStackInto destination has %d columns, want %d", dst.cols, cols))
+	}
+	hstackInto(dst, kept)
+}
+
+func hstackInto(dst *Dense, kept []*Dense) {
+	rows, cols := dst.rows, dst.cols
 	off := 0
 	for _, m := range kept {
 		for i := 0; i < rows; i++ {
-			copy(out.data[i*cols+off:i*cols+off+m.cols], m.data[i*m.cols:(i+1)*m.cols])
+			copy(dst.data[i*cols+off:i*cols+off+m.cols], m.data[i*m.cols:(i+1)*m.cols])
 		}
 		off += m.cols
 	}
-	return out
 }
 
 // VStack returns the row-wise concatenation of the operands. All operands

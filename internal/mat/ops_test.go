@@ -96,16 +96,15 @@ func TestMulAssociativity(t *testing.T) {
 }
 
 func TestMulParallelPathMatchesSerial(t *testing.T) {
-	// Large enough to trigger the goroutine fan-out; compare against the
-	// serial row kernel directly.
+	// Large enough to trigger the blocked kernel's pool fan-out; compare
+	// against the naive reference kernel directly.
 	rng := rand.New(rand.NewSource(3))
 	a := randomDense(150, 120, rng)
 	b := randomDense(120, 140, rng)
 	got := Mul(a, b)
-	want := New(150, 140)
-	mulRows(want, a, b, 0, 150)
+	want := refMul(a, b)
 	if !EqualApprox(got, want, 1e-12) {
-		t.Fatal("parallel Mul disagrees with serial kernel")
+		t.Fatal("blocked Mul disagrees with naive reference kernel")
 	}
 }
 

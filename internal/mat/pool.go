@@ -1,0 +1,100 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The kernel worker pool: a fixed set of GOMAXPROCS goroutines started on
+// first use that execute A-panel row blocks for every large product in the
+// process. Replacing the old per-Mul goroutine spawning with a persistent
+// pool removes the per-call spawn/teardown cost from the streaming hot path
+// and lets each worker keep a private, warm packing buffer.
+
+// gemmTask is one packed A-panel block of a blocked product. Tasks travel
+// by value on the channel, so dispatching allocates nothing.
+type gemmTask struct {
+	out, a         *Dense
+	bp             []float64
+	ic, mc, pc, kc int
+	jc, nc         int
+	transA         bool
+	wg             *sync.WaitGroup
+}
+
+func (t *gemmTask) run(buf *packBuf) {
+	ap := buf.grow(roundUp(t.mc, mr) * t.kc)
+	packA(ap, t.a, t.ic, t.mc, t.pc, t.kc, t.transA)
+	macroKernel(t.out, ap, t.bp, t.ic, t.mc, t.jc, t.nc, t.kc)
+}
+
+var kernelPool struct {
+	once    sync.Once
+	workers int
+	tasks   chan gemmTask
+}
+
+func startKernelPool() {
+	kernelPool.workers = runtime.GOMAXPROCS(0)
+	kernelPool.tasks = make(chan gemmTask, 8*kernelPool.workers)
+	for w := 0; w < kernelPool.workers; w++ {
+		go func() {
+			buf := new(packBuf) // private, stays warm across tasks
+			for t := range kernelPool.tasks {
+				t.run(buf)
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// parallelFlopThreshold is the approximate flop count above which a product
+// is split across the worker pool. Below it the dispatch overhead dominates
+// any speedup.
+const parallelFlopThreshold = 1 << 20
+
+// dispatchRows runs the mc-blocked ic loop of one (jc, pc) panel pair,
+// either inline (small problems, single-CPU processes) or fanned out across
+// the persistent pool.
+func dispatchRows(out, a *Dense, bp []float64, pc, kc, jc, nc int, transA bool, inlineBuf *packBuf) {
+	kernelPool.once.Do(startKernelPool)
+	m := out.rows
+	t := gemmTask{out: out, a: a, bp: bp, pc: pc, kc: kc, jc: jc, nc: nc, transA: transA}
+	if kernelPool.workers < 2 || m*nc*kc < parallelFlopThreshold || m <= mcBlock {
+		for ic := 0; ic < m; ic += mcBlock {
+			t.ic, t.mc = ic, min(mcBlock, m-ic)
+			t.run(inlineBuf)
+		}
+		return
+	}
+	wg := waitGroupPool.Get().(*sync.WaitGroup)
+	t.wg = wg
+	for ic := 0; ic < m; ic += mcBlock {
+		wg.Add(1)
+		t.ic, t.mc = ic, min(mcBlock, m-ic)
+		kernelPool.tasks <- t
+	}
+	wg.Wait()
+	waitGroupPool.Put(wg)
+}
+
+var waitGroupPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+
+// packBuf is a grow-only scratch buffer for packed operand panels.
+type packBuf struct {
+	data []float64
+}
+
+// grow returns the first n elements of the buffer, reallocating only when
+// the requested panel is larger than anything packed into it before.
+func (b *packBuf) grow(n int) []float64 {
+	if cap(b.data) < n {
+		b.data = make([]float64, n)
+	}
+	return b.data[:n]
+}
+
+var packBufPool = sync.Pool{New: func() any { return new(packBuf) }}
+
+func getPackBuf() *packBuf  { return packBufPool.Get().(*packBuf) }
+func putPackBuf(b *packBuf) { packBufPool.Put(b) }

@@ -48,11 +48,16 @@ func (o Options) withDefaults() Options {
 // the given source.
 func Gaussian(r, c int, rng *rand.Rand) *mat.Dense {
 	m := mat.New(r, c)
+	fillGaussian(m, rng)
+	return m
+}
+
+// fillGaussian overwrites m with iid standard normal entries.
+func fillGaussian(m *mat.Dense, rng *rand.Rand) {
 	data := m.RawData()
 	for i := range data {
 		data[i] = rng.NormFloat64()
 	}
-	return m
 }
 
 // RangeFinder computes an orthonormal basis Q (m×l, l = k+oversample,
@@ -61,6 +66,13 @@ func Gaussian(r, c int, rng *rand.Rand) *mat.Dense {
 // power iterations with re-orthogonalization at every half-step
 // (the numerically stable subspace-iteration form).
 func RangeFinder(a *mat.Dense, k int, opts Options) *mat.Dense {
+	return RangeFinderWith(nil, a, k, opts)
+}
+
+// RangeFinderWith is RangeFinder drawing the sketch, the power-iteration
+// intermediates and the returned basis from ws, so repeated calls with
+// steady shapes (the streaming low-rank path) reuse their buffers.
+func RangeFinderWith(ws *mat.Workspace, a *mat.Dense, k int, opts Options) *mat.Dense {
 	opts = opts.withDefaults()
 	m, n := a.Dims()
 	if k < 1 {
@@ -74,15 +86,26 @@ func RangeFinder(a *mat.Dense, k int, opts Options) *mat.Dense {
 		l = m
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	omega := Gaussian(n, l, rng)
-	y := mat.Mul(a, omega)
-	q, _ := linalg.QR(y)
+	omega := ws.GetUninit(n, l)
+	fillGaussian(omega, rng)
+	y := ws.GetUninit(m, l)
+	mat.MulInto(y, a, omega)
+	ws.Put(omega)
+	q, r := linalg.QRWith(ws, y)
+	ws.Put(r)
 	for it := 0; it < opts.PowerIters; it++ {
-		z := mat.MulTransA(a, q) // n×l
-		qz, _ := linalg.QR(z)
-		y = mat.Mul(a, qz) // m×l
-		q, _ = linalg.QR(y)
+		z := ws.GetUninit(n, l)
+		mat.MulTransAInto(z, a, q) // n×l
+		ws.Put(q)
+		qz, rz := linalg.QRWith(ws, z)
+		ws.Put(z)
+		ws.Put(rz)
+		mat.MulInto(y, a, qz) // m×l
+		ws.Put(qz)
+		q, r = linalg.QRWith(ws, y)
+		ws.Put(r)
 	}
+	ws.Put(y)
 	return q
 }
 
@@ -91,6 +114,12 @@ func RangeFinder(a *mat.Dense, k int, opts Options) *mat.Dense {
 // solve the small problem exactly, and lift back (paper Eqs. 7–11).
 // U is m×k, s has length k, V is n×k (k clamped to min(m, n)).
 func RandomizedSVD(a *mat.Dense, k int, opts Options) (u *mat.Dense, s []float64, v *mat.Dense) {
+	return RandomizedSVDWith(nil, a, k, opts)
+}
+
+// RandomizedSVDWith is RandomizedSVD with every temporary and the returned
+// factors drawn from ws; the caller owns u, s and v.
+func RandomizedSVDWith(ws *mat.Workspace, a *mat.Dense, k int, opts Options) (u *mat.Dense, s []float64, v *mat.Dense) {
 	m, n := a.Dims()
 	t := min(m, n)
 	if k > t {
@@ -99,14 +128,25 @@ func RandomizedSVD(a *mat.Dense, k int, opts Options) (u *mat.Dense, s []float64
 	if k < 1 {
 		panic(fmt.Sprintf("rla: RandomizedSVD target rank %d < 1", k))
 	}
-	q := RangeFinder(a, k, opts)
-	b := mat.MulTransA(q, a) // l×n, the small matrix Ã = Q*·A
-	ub, s, v := linalg.SVD(b)
-	u = mat.Mul(q, ub) // lift: U = Q·Ũ (paper Eq. 10)
+	q := RangeFinderWith(ws, a, k, opts)
+	l := q.Cols()
+	b := ws.GetUninit(l, n)
+	mat.MulTransAInto(b, q, a) // l×n, the small matrix Ã = Q*·A
+	ub, s, v := linalg.SVDWith(ws, b)
+	ws.Put(b)
+	u = ws.GetUninit(m, ub.Cols())
+	mat.MulInto(u, q, ub) // lift: U = Q·Ũ (paper Eq. 10)
+	ws.Put(ub)
+	ws.Put(q)
 	if k < len(s) {
-		u = u.SliceCols(0, k)
+		uk := ws.GetUninit(m, k)
+		u.SliceColsInto(uk, 0, k)
+		ws.Put(u)
+		vk := ws.GetUninit(v.Rows(), k)
+		v.SliceColsInto(vk, 0, k)
+		ws.Put(v)
+		u, v = uk, vk
 		s = s[:k]
-		v = v.SliceCols(0, k)
 	}
 	return u, s, v
 }
@@ -115,7 +155,14 @@ func RandomizedSVD(a *mat.Dense, k int, opts Options) (u *mat.Dense, s []float64
 // only the left factor and the singular values, which is all the APMOS and
 // streaming pipelines consume.
 func LowRankSVD(a *mat.Dense, k int, opts Options) (u *mat.Dense, s []float64) {
-	u, s, _ = RandomizedSVD(a, k, opts)
+	return LowRankSVDWith(nil, a, k, opts)
+}
+
+// LowRankSVDWith is LowRankSVD drawing its buffers from ws; the caller owns
+// the returned factors.
+func LowRankSVDWith(ws *mat.Workspace, a *mat.Dense, k int, opts Options) (u *mat.Dense, s []float64) {
+	u, s, v := RandomizedSVDWith(ws, a, k, opts)
+	ws.Put(v)
 	return u, s
 }
 

@@ -7,6 +7,7 @@ import (
 )
 
 func BenchmarkInitialize(b *testing.B) {
+	b.ReportAllocs()
 	rng := testutil.NewRand(1)
 	a := testutil.RandomDense(4096, 64, rng)
 	b.ResetTimer()
@@ -16,6 +17,7 @@ func BenchmarkInitialize(b *testing.B) {
 }
 
 func BenchmarkIncorporateDeterministic(b *testing.B) {
+	b.ReportAllocs()
 	rng := testutil.NewRand(2)
 	first := testutil.RandomDense(4096, 64, rng)
 	next := testutil.RandomDense(4096, 64, rng)
@@ -26,7 +28,25 @@ func BenchmarkIncorporateDeterministic(b *testing.B) {
 	}
 }
 
+func BenchmarkIncorporateSteadyStateAllocs(b *testing.B) {
+	// Regression gate for the zero-allocation streaming hot path: after a
+	// warmup update fills the iteration workspace, steady-state
+	// IncorporateData calls must report 0 allocs/op — every temporary,
+	// including the modes matrix, is recycled through the workspace.
+	b.ReportAllocs()
+	rng := testutil.NewRand(4)
+	first := testutil.RandomDense(2048, 32, rng)
+	next := testutil.RandomDense(2048, 32, rng)
+	s := New(Options{K: 10, FF: 0.95}).Initialize(first)
+	s.IncorporateData(next) // warm the workspace
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.IncorporateData(next)
+	}
+}
+
 func BenchmarkIncorporateLowRank(b *testing.B) {
+	b.ReportAllocs()
 	rng := testutil.NewRand(3)
 	first := testutil.RandomDense(4096, 64, rng)
 	next := testutil.RandomDense(4096, 64, rng)

@@ -53,6 +53,10 @@ type SVD struct {
 	iterations  int
 	snapshots   int
 	initialized bool
+
+	// ws recycles every temporary of the update across iterations; once
+	// batch shapes are steady the per-batch update allocates nothing.
+	ws mat.Workspace
 }
 
 // New returns an empty streaming SVD with the given options.
@@ -92,7 +96,9 @@ func (s *SVD) Iterations() int { return s.iterations }
 func (s *SVD) SnapshotsSeen() int { return s.snapshots }
 
 // Modes returns the current truncated left singular vectors (M×k). The
-// caller must not mutate the result.
+// caller must not mutate the result, and the matrix is only valid until the
+// next IncorporateData call — its storage is recycled into the update's
+// workspace. Clone it to retain a snapshot across updates.
 func (s *SVD) Modes() *mat.Dense {
 	s.mustBeInitialized()
 	return s.modes
@@ -122,11 +128,19 @@ func (s *SVD) Initialize(a *mat.Dense) *SVD {
 	if m == 0 || b == 0 {
 		panic("stream: empty initial batch")
 	}
-	q, r := linalg.QR(a)
+	q, r := linalg.QRWith(&s.ws, a)
 	ui, d := s.smallSVD(r)
+	s.ws.Put(r)
 	k := min(s.opts.K, len(d))
-	s.modes = mat.Mul(q, ui.SliceCols(0, k))
+	usub := s.ws.GetUninit(ui.Rows(), k)
+	ui.SliceColsInto(usub, 0, k)
+	s.modes = s.ws.GetUninit(m, k)
+	mat.MulInto(s.modes, q, usub)
+	s.ws.Put(usub)
+	s.ws.Put(ui)
+	s.ws.Put(q)
 	s.singular = append([]float64(nil), d[:k]...)
+	s.ws.PutFloats(d)
 	s.rows = m
 	s.snapshots = b
 	s.initialized = true
@@ -149,15 +163,33 @@ func (s *SVD) IncorporateData(a *mat.Dense) *SVD {
 		return s
 	}
 	// Scale the running factorization by the forget factor and append the
-	// new snapshots (Listing 1: m_ap = ff·U·diag(D); concat).
-	scaled := mat.Scale(s.opts.FF, mat.MulDiag(s.modes, s.singular))
-	concat := mat.HStack(scaled, a)
+	// new snapshots (Listing 1: m_ap = ff·U·diag(D); concat). The forget
+	// factor is folded into the diagonal scaling pass, and every temporary
+	// below comes from the iteration workspace, so the steady-state update
+	// performs no heap allocations.
+	k0 := s.modes.Cols()
+	scaled := s.ws.GetUninit(m, k0)
+	mat.MulDiagScaledInto(scaled, s.opts.FF, s.modes, s.singular)
+	concat := s.ws.GetUninit(m, k0+b)
+	mat.HStackInto(concat, scaled, a)
+	s.ws.Put(scaled)
 
-	udash, ddash := linalg.QR(concat)
+	udash, ddash := linalg.QRWith(&s.ws, concat)
+	s.ws.Put(concat)
 	utilde, dtilde := s.smallSVD(ddash)
+	s.ws.Put(ddash)
 	k := min(s.opts.K, len(dtilde))
-	s.modes = mat.Mul(udash, utilde.SliceCols(0, k))
+	usub := s.ws.GetUninit(utilde.Rows(), k)
+	utilde.SliceColsInto(usub, 0, k)
+	next := s.ws.GetUninit(m, k)
+	mat.MulInto(next, udash, usub)
+	s.ws.Put(usub)
+	s.ws.Put(utilde)
+	s.ws.Put(udash)
+	s.ws.Put(s.modes) // recycle the previous modes storage
+	s.modes = next
 	s.singular = append(s.singular[:0], dtilde[:k]...)
+	s.ws.PutFloats(dtilde)
 	s.iterations++
 	s.snapshots += b
 	return s
@@ -165,13 +197,15 @@ func (s *SVD) IncorporateData(a *mat.Dense) *SVD {
 
 // smallSVD factorizes the small (batch-sized) matrix produced by the QR
 // step, optionally with the randomized algorithm. Singular values are
-// returned in descending order, which subsumes Listing 1's argsort.
+// returned in descending order, which subsumes Listing 1's argsort. The
+// returned factors are workspace-owned; the caller puts them back.
 func (s *SVD) smallSVD(r *mat.Dense) (*mat.Dense, []float64) {
 	if s.opts.LowRank {
 		t := min(r.Rows(), r.Cols())
-		return rla.LowRankSVD(r, min(s.opts.K, t), s.opts.RLA)
+		return rla.LowRankSVDWith(&s.ws, r, min(s.opts.K, t), s.opts.RLA)
 	}
-	u, d, _ := linalg.SVD(r)
+	u, d, v := linalg.SVDWith(&s.ws, r)
+	s.ws.Put(v)
 	return u, d
 }
 

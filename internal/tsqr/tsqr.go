@@ -42,13 +42,26 @@ const (
 // the R factors, a second QR at the root, and distribution of the
 // Q-correction blocks.
 func GatherQR(c *mpi.Comm, a *mat.Dense) (qlocal, r *mat.Dense) {
+	return GatherQRWith(nil, c, a)
+}
+
+// GatherQRWith is GatherQR with the local QR factors, the stacked-R
+// factorization and the Q-correction products drawn from ws, so each rank
+// of a streaming update reuses its buffers across batches. Matrices that
+// cross rank boundaries are still freshly allocated by the communicator.
+func GatherQRWith(ws *mat.Workspace, c *mpi.Comm, a *mat.Dense) (qlocal, r *mat.Dense) {
 	n := a.Cols()
-	q, rl := linalg.QR(a) // local QR; rl is min(m_i,n)×n
+	q, rl := linalg.QRWith(ws, a) // local QR; rl is min(m_i,n)×n
 
 	if c.Rank() != 0 {
 		c.SendMatrix(0, tagQBlock, rl)
+		ws.Put(rl)
 		qg := c.RecvMatrix(0, tagQBlock+c.Rank())
-		return mat.Mul(q, qg), nil
+		qlocal = ws.GetUninit(q.Rows(), qg.Cols())
+		mat.MulInto(qlocal, q, qg)
+		ws.Put(q)
+		ws.Put(qg)
+		return qlocal, nil
 	}
 
 	// Rank 0: gather the R factors (its own plus one per peer, in rank
@@ -60,7 +73,7 @@ func GatherQR(c *mpi.Comm, a *mat.Dense) (qlocal, r *mat.Dense) {
 	}
 	rGlobal := mat.VStack(blocks...)
 
-	qGlobal, rFinal := linalg.QR(rGlobal)
+	qGlobal, rFinal := linalg.QRWith(ws, rGlobal)
 	linalg.NormalizeQRSigns(qGlobal, rFinal)
 
 	// Slice qGlobal back into per-rank correction blocks, matching each
@@ -71,7 +84,12 @@ func GatherQR(c *mpi.Comm, a *mat.Dense) (qlocal, r *mat.Dense) {
 		c.SendMatrix(dst, tagQBlock+dst, qGlobal.SliceRows(off, off+rows))
 		off += rows
 	}
-	qlocal = mat.Mul(q, qGlobal.SliceRows(0, blocks[0].Rows()))
+	qtop := qGlobal.SliceRows(0, blocks[0].Rows())
+	qlocal = ws.GetUninit(q.Rows(), qtop.Cols())
+	mat.MulInto(qlocal, q, qtop)
+	ws.Put(q)
+	ws.Put(rl)
+	ws.Put(qGlobal)
 	if rFinal.Rows() != n || rFinal.Cols() != n {
 		// Happens only when the global row count is below n; the caller's
 		// matrix was not tall-and-skinny.
