@@ -1,9 +1,11 @@
 # Development entry points. `make check` is the tier-1 gate every PR must
-# keep green; CI and local workflows should run the same target.
+# keep green; CI (.github/workflows/ci.yml) runs the same targets.
 
 GO ?= go
+# benchstat wants repeated samples; `make bench BENCH_COUNT=10` feeds it.
+BENCH_COUNT ?= 1
 
-.PHONY: check build test vet fmt bench bench-stream
+.PHONY: check build test vet fmt race smoke bench bench-gate bench-stream worker
 
 check: build test vet fmt
 
@@ -22,8 +24,44 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Race-detector pass over the non-bench tests (benchmarks don't run under
+# `go test` by default).
+race:
+	$(GO) test -race ./...
+
+# Multi-process smoke: 4 parsvd-worker OS processes over loopback TCP,
+# verified bit-for-bit against the in-process transport and against the
+# serial reference. Fast enough for every CI run.
+smoke:
+	$(GO) test -short -run 'TestTCPFourRankSmoke' -v ./internal/launch
+
+worker:
+	$(GO) build -o bin/parsvd-worker ./cmd/parsvd-worker
+
+# benchstat-compatible output: standard `go test -bench` lines; pipe two
+# runs into `benchstat old.txt new.txt`.
 bench:
-	$(GO) test -run xxx -bench . -benchmem ./internal/mat ./internal/linalg
+	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) ./internal/mat ./internal/linalg ./internal/stream
 
 bench-stream:
-	$(GO) test -run xxx -bench Incorporate -benchmem ./internal/stream
+	$(GO) test -run '^$$' -bench Incorporate -benchmem ./internal/stream
+
+# Regression gate on the two key benches: the blocked-GEMM kernel and the
+# zero-allocation streaming hot path. Fails if the steady-state streaming
+# update reports any allocations per op.
+bench-gate:
+	@fail=0; \
+	mat=$$($(GO) test -run '^$$' -bench 'BenchmarkMulSquare512$$' -benchmem ./internal/mat) || fail=1; \
+	stream=$$($(GO) test -run '^$$' -bench 'BenchmarkIncorporateSteadyStateAllocs$$' -benchmem ./internal/stream) || fail=1; \
+	out=$$(printf '%s\n%s\n' "$$mat" "$$stream"); \
+	echo "$$out"; \
+	if [ $$fail -ne 0 ]; then echo "bench-gate: benchmarks failed"; exit 1; fi; \
+	echo "$$out" | awk ' \
+		/^BenchmarkIncorporateSteadyStateAllocs/ { \
+			for (i = 1; i <= NF; i++) if ($$i == "allocs/op") { seen = 1; allocs = $$(i-1) } \
+		} \
+		END { \
+			if (!seen) { print "bench-gate: BenchmarkIncorporateSteadyStateAllocs did not run"; exit 1 } \
+			if (allocs + 0 > 0) { print "bench-gate: steady-state streaming path allocates (" allocs " allocs/op, want 0)"; exit 1 } \
+			print "bench-gate OK: steady-state streaming path reports " allocs " allocs/op" \
+		}'

@@ -1,15 +1,23 @@
-// Command parsvd-scaling reproduces Figure 1(c) of the PyParSVD paper: the
-// weak scaling of the parallelized + randomized SVD (no streaming), with a
-// fixed 1024 grid points per rank.
+// Command parsvd-scaling reproduces Figure 1(c) of the PyParSVD paper —
+// the weak scaling of the parallelized + randomized SVD with a fixed 1024
+// grid points per rank — and doubles as the launcher for real
+// multi-process runs.
 //
-// Because this reproduction substitutes in-process goroutine ranks for MPI
-// ranks on Theta, the command prints two series:
+// Transport modes (-transport):
 //
-//   - a measured series (goroutine ranks on this machine; honest wall
-//     clock, but ranks beyond the local core count time-share the CPU);
-//   - a modeled series from a Theta-calibrated analytic cost model,
-//     evaluated to 16384 ranks (256 KNL nodes × 64 ranks), which is the
-//     series whose *shape* should be compared with the figure.
+//   - chan (default): the historical in-process measurement. Goroutine
+//     ranks execute the APMOS decomposition; a Theta-calibrated analytic
+//     model extends the series to 16384 ranks. Honest wall clock, but
+//     ranks beyond the local core count time-share the CPU.
+//
+//   - tcp: a launcher mode. For every rank count, N parsvd-worker OS
+//     processes are spawned, connect over loopback TCP (the
+//     internal/mpi/tcptransport fabric), and run the full distributed
+//     *streaming* SVD end to end over real sockets. Each point is
+//     verified bit-for-bit against the in-process run of the identical
+//     deterministic workload before it is reported, and the per-rank
+//     byte counts from the worker processes feed the same scaling
+//     tables. The command exits nonzero on any mismatch.
 //
 // Outputs: a CSV per series in -outdir, tables on stdout.
 package main
@@ -22,7 +30,9 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
+	"goparsvd/internal/launch"
 	"goparsvd/internal/scaling"
 )
 
@@ -31,14 +41,25 @@ func main() {
 	log.SetPrefix("parsvd-scaling: ")
 
 	var (
+		transport   = flag.String("transport", "chan", "rank fabric: chan (in-process goroutines) or tcp (one OS process per rank)")
 		rowsPerRank = flag.Int("rows-per-rank", 1024, "grid points per rank (paper: 1024)")
 		snapshots   = flag.Int("snapshots", 128, "snapshot count for the measured series")
-		k           = flag.Int("k", 10, "modes for the randomized SVD")
+		k           = flag.Int("k", 10, "modes for the SVD")
 		r1          = flag.Int("r1", 32, "APMOS gather truncation for the measured series")
 		ranksFlag   = flag.String("ranks", "1,2,4,8,16", "comma-separated measured rank counts")
-		trials      = flag.Int("trials", 3, "trials per point (minimum kept)")
-		modelMax    = flag.Int("model-max", 16384, "largest rank count for the modeled series")
+		trials      = flag.Int("trials", 3, "trials per point (minimum kept; chan mode only)")
+		modelMax    = flag.Int("model-max", 16384, "largest rank count for the modeled series (chan mode only)")
 		outdir      = flag.String("outdir", "out/scaling", "output directory")
+
+		// tcp-mode streaming workload shape.
+		initBatch = flag.Int("init-batch", 24, "tcp mode: columns consumed by Initialize")
+		batch     = flag.Int("batch", 12, "tcp mode: columns per streaming update")
+		ff        = flag.Float64("ff", 0.95, "tcp mode: streaming forget factor")
+		lowRank   = flag.Bool("lowrank", false, "tcp mode: use the randomized SVD pipeline")
+		seed      = flag.Int64("seed", 7, "tcp mode: randomized-SVD sketch seed")
+		workerBin = flag.String("worker", "", "tcp mode: parsvd-worker binary (default: $PARSVD_WORKER, sibling, PATH, then go build)")
+		verify    = flag.Bool("verify", true, "tcp mode: check each point bit-for-bit against the in-process run")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "tcp mode: per-point job timeout")
 	)
 	flag.Parse()
 
@@ -50,35 +71,125 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := scaling.MeasuredConfig{
-		RowsPerRank: *rowsPerRank,
-		Snapshots:   *snapshots,
-		K:           *k,
-		R1:          *r1,
-		Ranks:       ranks,
-		Trials:      *trials,
+	switch *transport {
+	case "chan":
+		runChanMode(chanConfig{
+			rowsPerRank: *rowsPerRank, snapshots: *snapshots, k: *k, r1: *r1,
+			ranks: ranks, trials: *trials, modelMax: *modelMax, outdir: *outdir,
+		})
+	case "tcp":
+		w := scaling.StreamWorkload{
+			RowsPerRank: *rowsPerRank,
+			Snapshots:   *snapshots,
+			InitBatch:   *initBatch,
+			Batch:       *batch,
+			K:           *k,
+			R1:          *r1,
+			FF:          *ff,
+			LowRank:     *lowRank,
+			Seed:        *seed,
+		}
+		runTCPMode(tcpConfig{
+			workload: w, ranks: ranks, workerBin: *workerBin,
+			verify: *verify, timeout: *timeout, outdir: *outdir,
+		})
+	default:
+		log.Fatalf("unknown -transport %q (want chan or tcp)", *transport)
 	}
-	log.Printf("measured series: %d rows/rank, %d snapshots, ranks %v", *rowsPerRank, *snapshots, ranks)
-	measured := scaling.RunMeasured(cfg)
+}
+
+type chanConfig struct {
+	rowsPerRank, snapshots, k, r1 int
+	ranks                         []int
+	trials, modelMax              int
+	outdir                        string
+}
+
+// runChanMode is the historical Figure 1(c) reproduction: measured
+// goroutine ranks plus the Theta-calibrated analytic model.
+func runChanMode(cfg chanConfig) {
+	mcfg := scaling.MeasuredConfig{
+		RowsPerRank: cfg.rowsPerRank,
+		Snapshots:   cfg.snapshots,
+		K:           cfg.k,
+		R1:          cfg.r1,
+		Ranks:       cfg.ranks,
+		Trials:      cfg.trials,
+	}
+	log.Printf("measured series: %d rows/rank, %d snapshots, ranks %v", cfg.rowsPerRank, cfg.snapshots, cfg.ranks)
+	measured := scaling.RunMeasured(mcfg)
 	fmt.Println()
 	fmt.Print(scaling.FormatSeries("measured weak scaling (goroutine ranks, this machine)", measured))
 
 	model := scaling.DefaultThetaModel()
-	model.RowsPerRank = *rowsPerRank
-	model.K = *k
-	modeled := model.Series(scaling.PowersOfTwo(*modelMax))
+	model.RowsPerRank = cfg.rowsPerRank
+	model.K = cfg.k
+	modeled := model.Series(scaling.PowersOfTwo(cfg.modelMax))
 	fmt.Println()
 	fmt.Print(scaling.FormatSeries(
 		fmt.Sprintf("modeled weak scaling (Theta-like constants, N=%d, r1=%d)", model.Snapshots, model.R1),
 		modeled))
 
-	if err := writeCSV(filepath.Join(*outdir, "fig1c_measured.csv"), measured); err != nil {
+	if err := writeCSV(filepath.Join(cfg.outdir, "fig1c_measured.csv"), measured); err != nil {
 		log.Fatal(err)
 	}
-	if err := writeCSV(filepath.Join(*outdir, "fig1c_model.csv"), modeled); err != nil {
+	if err := writeCSV(filepath.Join(cfg.outdir, "fig1c_model.csv"), modeled); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nartifacts written to %s\n", *outdir)
+	fmt.Printf("\nartifacts written to %s\n", cfg.outdir)
+}
+
+type tcpConfig struct {
+	workload  scaling.StreamWorkload
+	ranks     []int
+	workerBin string
+	verify    bool
+	timeout   time.Duration
+	outdir    string
+}
+
+// runTCPMode launches one multi-process TCP job per rank count, verifies
+// each against the in-process reference, and reports the socket-measured
+// scaling series.
+func runTCPMode(cfg tcpConfig) {
+	if err := cfg.workload.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("tcp series: %d rows/rank, %d snapshots (init %d, batch %d), ranks %v",
+		cfg.workload.RowsPerRank, cfg.workload.Snapshots, cfg.workload.InitBatch,
+		cfg.workload.Batch, cfg.ranks)
+
+	points := make([]scaling.Point, 0, len(cfg.ranks))
+	for _, p := range cfg.ranks {
+		log.Printf("launching %d worker process(es)…", p)
+		res, err := launch.Run(launch.Config{
+			Ranks:     p,
+			WorkerBin: cfg.workerBin,
+			Workload:  cfg.workload,
+			Timeout:   cfg.timeout,
+		})
+		if err != nil {
+			log.Fatalf("%d-rank TCP job failed: %v", p, err)
+		}
+		if cfg.verify {
+			if err := launch.VerifyAgainstInProcess(p, cfg.workload, res); err != nil {
+				log.Fatalf("%d ranks: VERIFICATION FAILED: %v", p, err)
+			}
+			log.Printf("%d ranks: verified — singular values and modes match the in-process run bit-for-bit", p)
+		}
+		agg := res.MPIStats()
+		log.Printf("%d ranks: %d msgs, %d payload bytes, root incast %d bytes",
+			p, agg.Messages, agg.Bytes, agg.RecvBytes[0])
+		points = append(points, scaling.MultiProcessPoint(p, res.RankStats()))
+	}
+	scaling.FillEfficiency(points)
+
+	fmt.Println()
+	fmt.Print(scaling.FormatSeries("measured weak scaling (TCP worker processes, streaming SVD)", points))
+	if err := writeCSV(filepath.Join(cfg.outdir, "fig1c_tcp_measured.csv"), points); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nartifacts written to %s\n", cfg.outdir)
 }
 
 func parseRanks(s string) ([]int, error) {

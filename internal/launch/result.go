@@ -1,0 +1,61 @@
+package launch
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"goparsvd/internal/mat"
+	"goparsvd/internal/scaling"
+)
+
+// HashModes fingerprints a mode matrix for exact cross-process comparison:
+// SHA-256 over the dims plus the row-major float64 payload rendered as
+// IEEE-754 little-endian bits. Both the worker (reporting) and the
+// launcher (verifying against the in-process reference) use this, so a
+// single flipped mantissa bit anywhere in an M×K mode matrix fails the
+// match.
+func HashModes(m *mat.Dense) string {
+	h := sha256.New()
+	var buf [8]byte
+	r, c := m.Dims()
+	binary.LittleEndian.PutUint64(buf[:], uint64(r))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(c))
+	h.Write(buf[:])
+	for _, v := range m.RawData() {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// SingularBits converts singular values to their exact bit patterns for
+// the result line.
+func SingularBits(s []float64) []uint64 {
+	out := make([]uint64, len(s))
+	for i, v := range s {
+		out[i] = math.Float64bits(v)
+	}
+	return out
+}
+
+// FormatResult renders one rank's PARSVD-RESULT stdout line. modes may be
+// nil (non-root ranks).
+func FormatResult(rank int, singular []float64, modes *mat.Dense, stats scaling.RankStats) (string, error) {
+	rr := RankResult{
+		Rank:         rank,
+		SingularBits: SingularBits(singular),
+		Stats:        stats,
+	}
+	if modes != nil {
+		rr.ModesSHA256 = HashModes(modes)
+	}
+	b, err := json.Marshal(rr)
+	if err != nil {
+		return "", err
+	}
+	return ResultPrefix + " " + string(b), nil
+}

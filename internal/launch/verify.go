@@ -1,0 +1,49 @@
+package launch
+
+import (
+	"fmt"
+
+	"goparsvd/internal/mpi"
+	"goparsvd/internal/scaling"
+)
+
+// VerifyAgainstInProcess replays the identical workload on the in-process
+// channel fabric and demands exact agreement with a multi-process result:
+// the same singular-value bit patterns on every rank and the same SHA-256
+// of the gathered modes. It is the single comparator shared by the
+// parsvd-scaling launcher and the CI smoke test, so the equivalence
+// contract between the two transports is defined in exactly one place.
+func VerifyAgainstInProcess(ranks int, w scaling.StreamWorkload, res *Result) error {
+	var ref scaling.StreamResult
+	if _, err := mpi.Run(ranks, func(c *mpi.Comm) {
+		r := scaling.RunStream(c, w)
+		if c.Rank() == 0 {
+			ref = r
+		}
+	}); err != nil {
+		return fmt.Errorf("in-process reference run: %w", err)
+	}
+	refBits := SingularBits(ref.Singular)
+	for _, rr := range res.PerRank {
+		if !uint64sEqual(rr.SingularBits, refBits) {
+			return fmt.Errorf("rank %d singular values diverge from the in-process run:\n tcp  %v\n chan %v",
+				rr.Rank, rr.Singular(), ref.Singular)
+		}
+	}
+	if got, want := res.Root().ModesSHA256, HashModes(ref.Modes); got != want {
+		return fmt.Errorf("gathered modes diverge from the in-process run (sha %s vs %s)", got, want)
+	}
+	return nil
+}
+
+func uint64sEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

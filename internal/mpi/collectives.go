@@ -20,38 +20,38 @@ const (
 // tree (log₂ P rounds, like any production MPI). Root passes the payload;
 // other ranks pass nil. Every rank returns its own copy.
 func (c *Comm) BcastFloats(root int, data []float64) []float64 {
-	m := c.bcastMsg(root, message{tag: tagBcast, data: data, rows: -1})
-	return m.data
+	m := c.bcastMsg(root, Message{Tag: tagBcast, Data: data, Rows: vectorRows})
+	return m.Data
 }
 
 // BcastMatrix broadcasts a matrix from root to every rank. Root passes the
 // matrix; other ranks pass nil. Every rank returns its own copy (including
 // root, which gets a clone so later mutation is safe).
 func (c *Comm) BcastMatrix(root int, m *mat.Dense) *mat.Dense {
-	var msg message
+	var msg Message
 	if c.rank == root {
 		if m == nil {
 			panic("mpi: BcastMatrix root passed nil matrix")
 		}
 		r, cl := m.Dims()
-		msg = message{tag: tagBcast, data: m.RawData(), rows: r, cols: cl}
+		msg = Message{Tag: tagBcast, Data: m.RawData(), Rows: r, Cols: cl}
 	}
 	out := c.bcastMsg(root, msg)
-	return mat.NewFromData(out.rows, out.cols, out.data)
+	return mat.NewFromData(out.Rows, out.Cols, out.Data)
 }
 
 // bcastMsg moves one message down a binomial tree rooted at root. The
 // message payload is copied on every hop by sendMsg.
-func (c *Comm) bcastMsg(root int, m message) message {
-	size := c.world.size
+func (c *Comm) bcastMsg(root int, m Message) Message {
+	size := c.t.Size()
 	if root < 0 || root >= size {
 		panic(fmt.Sprintf("mpi: broadcast root %d out of range", root))
 	}
 	if size == 1 {
-		m.data = append([]float64(nil), m.data...)
+		m.Data = append([]float64(nil), m.Data...)
 		return m
 	}
-	m.tag = tagBcast
+	m.Tag = tagBcast
 	rel := (c.rank - root + size) % size
 	received := rel == 0
 	for offset := 1; offset < size; offset *= 2 {
@@ -66,7 +66,7 @@ func (c *Comm) bcastMsg(root int, m message) message {
 		}
 	}
 	if rel == 0 {
-		m.data = append([]float64(nil), m.data...)
+		m.Data = append([]float64(nil), m.Data...)
 	}
 	return m
 }
@@ -77,17 +77,17 @@ func (c *Comm) bcastMsg(root int, m message) message {
 // gather, matching the cost profile of MPI_Gather for large payloads.
 func (c *Comm) GatherFloats(root int, data []float64) [][]float64 {
 	if c.rank != root {
-		c.sendMsg(root, message{tag: tagGather, data: append([]float64(nil), data...), rows: -1})
+		c.sendMsg(root, Message{Tag: tagGather, Data: append([]float64(nil), data...), Rows: vectorRows})
 		return nil
 	}
-	out := make([][]float64, c.world.size)
+	out := make([][]float64, c.t.Size())
 	out[root] = append([]float64(nil), data...)
-	for src := 0; src < c.world.size; src++ {
+	for src := 0; src < c.t.Size(); src++ {
 		if src == root {
 			continue
 		}
 		m := c.recvMsg(src, tagGather)
-		out[src] = m.data
+		out[src] = m.Data
 	}
 	return out
 }
@@ -100,14 +100,14 @@ func (c *Comm) GatherMatrix(root int, m *mat.Dense) []*mat.Dense {
 		c.SendMatrix(root, tagGather, m)
 		return nil
 	}
-	out := make([]*mat.Dense, c.world.size)
+	out := make([]*mat.Dense, c.t.Size())
 	out[root] = m.Clone()
-	for src := 0; src < c.world.size; src++ {
+	for src := 0; src < c.t.Size(); src++ {
 		if src == root {
 			continue
 		}
 		msg := c.recvMsg(src, tagGather)
-		out[src] = mat.NewFromData(msg.rows, msg.cols, msg.data)
+		out[src] = mat.NewFromData(msg.Rows, msg.Cols, msg.Data)
 	}
 	return out
 }
@@ -115,7 +115,7 @@ func (c *Comm) GatherMatrix(root int, m *mat.Dense) []*mat.Dense {
 // AllgatherFloats gives every rank the slice contributed by every other
 // rank, implemented as gather-to-0 plus broadcast of the concatenation.
 func (c *Comm) AllgatherFloats(data []float64) [][]float64 {
-	size := c.world.size
+	size := c.t.Size()
 	gathered := c.GatherFloats(0, data)
 	// Flatten with a length prefix so a single broadcast suffices.
 	var flat []float64
@@ -147,7 +147,7 @@ func (c *Comm) AllgatherFloats(data []float64) [][]float64 {
 // sizes and delivers block i to rank i. counts must sum to m's row count and
 // have one entry per rank. Non-root ranks pass nil for m.
 func (c *Comm) ScatterMatrixRows(root int, m *mat.Dense, counts []int) *mat.Dense {
-	size := c.world.size
+	size := c.t.Size()
 	if len(counts) != size {
 		panic(fmt.Sprintf("mpi: scatter counts length %d, want %d", len(counts), size))
 	}
@@ -180,20 +180,20 @@ func (c *Comm) ScatterMatrixRows(root int, m *mat.Dense, counts []int) *mat.Dens
 // have equal length.
 func (c *Comm) ReduceSum(root int, data []float64) []float64 {
 	if c.rank != root {
-		c.sendMsg(root, message{tag: tagReduce, data: append([]float64(nil), data...), rows: -1})
+		c.sendMsg(root, Message{Tag: tagReduce, Data: append([]float64(nil), data...), Rows: vectorRows})
 		return nil
 	}
 	acc := append([]float64(nil), data...)
-	for src := 0; src < c.world.size; src++ {
+	for src := 0; src < c.t.Size(); src++ {
 		if src == root {
 			continue
 		}
 		m := c.recvMsg(src, tagReduce)
-		if len(m.data) != len(acc) {
+		if len(m.Data) != len(acc) {
 			panic(fmt.Sprintf("mpi: ReduceSum length mismatch: rank %d sent %d, want %d",
-				src, len(m.data), len(acc)))
+				src, len(m.Data), len(acc)))
 		}
-		for i, v := range m.data {
+		for i, v := range m.Data {
 			acc[i] += v
 		}
 	}
@@ -209,13 +209,13 @@ func (c *Comm) AllreduceSum(data []float64) []float64 {
 // AllreduceMax returns the element-wise maximum across ranks at every rank.
 func (c *Comm) AllreduceMax(data []float64) []float64 {
 	if c.rank != 0 {
-		c.sendMsg(0, message{tag: tagReduce, data: append([]float64(nil), data...), rows: -1})
+		c.sendMsg(0, Message{Tag: tagReduce, Data: append([]float64(nil), data...), Rows: vectorRows})
 		return c.BcastFloats(0, nil)
 	}
 	acc := append([]float64(nil), data...)
-	for src := 1; src < c.world.size; src++ {
+	for src := 1; src < c.t.Size(); src++ {
 		m := c.recvMsg(src, tagReduce)
-		for i, v := range m.data {
+		for i, v := range m.Data {
 			if v > acc[i] {
 				acc[i] = v
 			}

@@ -1,46 +1,41 @@
-// Package mpi is an in-process message-passing runtime with MPI semantics.
+// Package mpi is a message-passing runtime with MPI semantics and pluggable
+// transports.
 //
-// It is the substitution for mpi4py in this reproduction of PyParSVD: ranks
-// are goroutines, point-to-point messages travel over per-pair FIFO
-// channels, and the collectives the paper uses (Gather, Bcast, Send/Recv,
-// plus Reduce/Allreduce/Scatter for completeness) are built on top. Every
-// rank's traffic is counted (messages and bytes), which feeds the
+// It is the substitution for mpi4py in this reproduction of PyParSVD. The
+// algorithm-facing surface is *Comm: point-to-point Send/Recv plus the
+// collectives the paper uses (Gather, Bcast, Send/Recv, and
+// Reduce/Allreduce/Scatter for completeness). Beneath *Comm sits the
+// Transport interface, with two implementations:
+//
+//   - ChanTransport (the default behind NewWorld/Run): ranks are goroutines
+//     in one process and messages travel over per-pair FIFO channels;
+//   - tcptransport.Transport (internal/mpi/tcptransport): each OS process
+//     owns one rank and messages travel over a full mesh of TCP
+//     connections with a length-prefixed wire format, so the same
+//     algorithms run across real process and machine boundaries
+//     (cmd/parsvd-worker is the per-rank entry point).
+//
+// Every rank's traffic is counted (messages and bytes), which feeds the
 // weak-scaling cost model in internal/scaling.
 //
 // The design goal is that code written against *Comm reads like the MPI
 // calls in the paper's Listings 3 and 4, so the distributed algorithms are
-// a line-by-line correspondence with the published implementation.
+// a line-by-line correspondence with the published implementation —
+// independent of which fabric carries the bytes.
 package mpi
 
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"goparsvd/internal/mat"
 )
 
-// message is the unit of point-to-point transfer. Matrices travel as their
-// row-major backing slice plus shape; plain vectors use rows = -1.
-type message struct {
-	tag        int
-	data       []float64
-	rows, cols int
-}
-
-// World owns the communication fabric for one parallel run: the per-pair
-// mailboxes, the shared barrier and the traffic counters.
+// World owns the communication fabric for one parallel run. With the
+// default channel transport it carries every rank of the process; Comm
+// hands out per-rank handles.
 type World struct {
-	size int
-	// mail[dst][src] is the FIFO channel for messages from src to dst.
-	mail    [][]chan message
-	barrier *barrier
-	abort   chan struct{}
-	aborted atomic.Bool
-
-	bytesSent atomic.Int64
-	msgsSent  atomic.Int64
-	recvBytes []atomic.Int64 // indexed by receiving rank
+	t Transport
 }
 
 // Stats summarizes the traffic of a completed parallel run.
@@ -54,72 +49,54 @@ type Stats struct {
 	RecvBytes []int64
 }
 
-// Comm is one rank's handle on the World. All methods are called from that
-// rank's goroutine only.
+// Comm is one rank's handle on a Transport. All methods are called from
+// that rank's goroutine only.
 type Comm struct {
-	world *World
-	rank  int
+	t    Transport
+	rank int
 }
 
-// mailboxCap is the per-pair channel buffer. Senders beyond it block, which
-// mirrors MPI's rendezvous protocol for large messages.
-const mailboxCap = 8
-
-// NewWorld creates a communication fabric for size ranks. Most callers
-// should use Run instead.
+// NewWorld creates an in-process communication fabric for size ranks. Most
+// callers should use Run instead.
 func NewWorld(size int) *World {
-	if size < 1 {
-		panic(fmt.Sprintf("mpi: world size %d < 1", size))
-	}
-	w := &World{
-		size:      size,
-		mail:      make([][]chan message, size),
-		barrier:   newBarrier(size),
-		abort:     make(chan struct{}),
-		recvBytes: make([]atomic.Int64, size),
-	}
-	for dst := 0; dst < size; dst++ {
-		w.mail[dst] = make([]chan message, size)
-		for src := 0; src < size; src++ {
-			w.mail[dst][src] = make(chan message, mailboxCap)
-		}
-	}
-	return w
+	return NewWorldWith(NewChanTransport(size))
+}
+
+// NewWorldWith wraps an existing transport in a World.
+func NewWorldWith(t Transport) *World {
+	return &World{t: t}
 }
 
 // Comm returns the communicator handle for the given rank.
 func (w *World) Comm(rank int) *Comm {
-	if rank < 0 || rank >= w.size {
-		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, w.size))
-	}
-	return &Comm{world: w, rank: rank}
+	return NewComm(w.t, rank)
 }
 
 // Stats returns the aggregate traffic counters.
-func (w *World) Stats() Stats {
-	rb := make([]int64, w.size)
-	for r := range rb {
-		rb[r] = w.recvBytes[r].Load()
+func (w *World) Stats() Stats { return w.t.Stats() }
+
+// Abort tears down the world so that peers blocked in Send/Recv/Barrier
+// unblock (and themselves panic with the abort marker).
+func (w *World) Abort() { w.t.Abort() }
+
+// NewComm binds a communicator handle for rank to a transport. Single-rank
+// transports (one process per rank, e.g. the TCP backend) hand their own
+// rank here; in-process worlds usually go through World.Comm or Run.
+func NewComm(t Transport, rank int) *Comm {
+	if rank < 0 || rank >= t.Size() {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, t.Size()))
 	}
-	return Stats{Ranks: w.size, Messages: w.msgsSent.Load(), Bytes: w.bytesSent.Load(), RecvBytes: rb}
+	return &Comm{t: t, rank: rank}
 }
 
-// doAbort tears down the world after a rank panic so that peers blocked in
-// Send/Recv/Barrier unblock (and themselves panic with errAborted).
-func (w *World) doAbort() {
-	if w.aborted.CompareAndSwap(false, true) {
-		close(w.abort)
-		w.barrier.abort()
-	}
-}
-
-// errAborted is the panic value raised in ranks that were blocked on
+// abortError is the panic value raised in ranks that were blocked on
 // communication when another rank failed.
 type abortError struct{}
 
 func (abortError) Error() string { return "mpi: aborted because a peer rank panicked" }
 
-// RankError reports a panic that occurred inside a rank function during Run.
+// RankError reports a panic that occurred inside a rank function during Run
+// or RunRank.
 type RankError struct {
 	Rank  int
 	Value any
@@ -130,10 +107,10 @@ func (e *RankError) Error() string {
 	return fmt.Sprintf("mpi: rank %d panicked: %v", e.Rank, e.Value)
 }
 
-// Run executes fn concurrently on size ranks and waits for all of them. It
-// returns the traffic statistics of the run. If any rank panics, the world
-// is aborted (unblocking the other ranks) and the first panic is returned as
-// a *RankError.
+// Run executes fn concurrently on size ranks over the in-process channel
+// transport and waits for all of them. It returns the traffic statistics of
+// the run. If any rank panics, the world is aborted (unblocking the other
+// ranks) and the first panic is returned as a *RankError.
 func Run(size int, fn func(c *Comm)) (Stats, error) {
 	w := NewWorld(size)
 	var (
@@ -145,19 +122,15 @@ func Run(size int, fn func(c *Comm)) (Stats, error) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			defer func() {
-				if v := recover(); v != nil {
-					if _, isAbort := v.(abortError); !isAbort {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = &RankError{Rank: rank, Value: v}
-						}
-						mu.Unlock()
+			if err := runRank(w.t, rank, fn); err != nil {
+				if re, ok := err.(*RankError); ok {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = re
 					}
-					w.doAbort()
+					mu.Unlock()
 				}
-			}()
-			fn(w.Comm(rank))
+			}
 		}(r)
 	}
 	wg.Wait()
@@ -177,135 +150,122 @@ func MustRun(size int, fn func(c *Comm)) Stats {
 	return stats
 }
 
+// RunRank executes fn as the given rank of t on the calling goroutine. It
+// is the entry point for one-process-per-rank deployments: a worker process
+// establishes its transport (e.g. tcptransport.New), calls RunRank, and
+// the panic/abort discipline of Run applies across the whole distributed
+// job — if fn panics, the transport is aborted, live peers unwind with
+// ErrAborted, and the panic comes back as a *RankError; if a peer fails
+// first, RunRank returns ErrAborted. The caller owns the transport and
+// should Close it after a successful return.
+func RunRank(t Transport, rank int, fn func(c *Comm)) (Stats, error) {
+	err := runRank(t, rank, fn)
+	return t.Stats(), err
+}
+
+// runRank wraps one rank's execution with the recover-and-abort protocol
+// shared by Run and RunRank.
+func runRank(t Transport, rank int, fn func(c *Comm)) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			t.Abort()
+			if _, isAbort := v.(abortError); isAbort {
+				err = ErrAborted
+			} else {
+				err = &RankError{Rank: rank, Value: v}
+			}
+		}
+	}()
+	fn(NewComm(t, rank))
+	return nil
+}
+
 // Rank returns this communicator's rank in [0, Size).
 func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the number of ranks in the world.
-func (c *Comm) Size() int { return c.world.size }
+func (c *Comm) Size() int { return c.t.Size() }
+
+// Stats returns the transport's traffic counters as seen by this rank.
+func (c *Comm) Stats() Stats { return c.t.Stats() }
 
 // Send transmits a float64 slice to rank dst with the given tag. The data is
 // copied, so the caller may reuse the slice immediately.
 func (c *Comm) Send(dst, tag int, data []float64) {
-	c.sendMsg(dst, message{tag: tag, data: data, rows: -1})
+	c.sendMsg(dst, Message{Tag: tag, Data: data, Rows: vectorRows})
 }
 
 // Recv receives a float64 slice from rank src with the given tag. Receiving
-// a message whose tag does not match panics: per-pair channels are FIFO, so
+// a message whose tag does not match panics: per-pair delivery is FIFO, so
 // a mismatch is always a protocol bug.
 func (c *Comm) Recv(src, tag int) []float64 {
 	m := c.recvMsg(src, tag)
-	if m.rows != -1 {
+	if m.Rows != vectorRows {
 		panic(fmt.Sprintf("mpi: rank %d expected vector from %d tag %d, got %dx%d matrix",
-			c.rank, src, tag, m.rows, m.cols))
+			c.rank, src, tag, m.Rows, m.Cols))
 	}
-	return m.data
+	return m.Data
 }
 
 // SendMatrix transmits a matrix to rank dst. The contents are copied.
 func (c *Comm) SendMatrix(dst, tag int, m *mat.Dense) {
 	r, cols := m.Dims()
-	c.sendMsg(dst, message{tag: tag, data: m.RawData(), rows: r, cols: cols})
+	c.sendMsg(dst, Message{Tag: tag, Data: m.RawData(), Rows: r, Cols: cols})
 }
 
 // RecvMatrix receives a matrix from rank src with the given tag.
 func (c *Comm) RecvMatrix(src, tag int) *mat.Dense {
 	m := c.recvMsg(src, tag)
-	if m.rows < 0 {
+	if m.Rows < 0 {
 		panic(fmt.Sprintf("mpi: rank %d expected matrix from %d tag %d, got vector",
 			c.rank, src, tag))
 	}
-	return mat.NewFromData(m.rows, m.cols, m.data)
+	return mat.NewFromData(m.Rows, m.Cols, m.Data)
 }
 
-// sendMsg enqueues a message for dst, copying the payload so the sender's
-// buffer (and any downstream receiver's view) can never alias in-flight or
-// delivered data. Copy-on-send is centralized here so relayed collective
-// hops (broadcast trees) are safe too.
-func (c *Comm) sendMsg(dst int, m message) {
-	if dst < 0 || dst >= c.world.size {
+// sendMsg validates the destination and hands the message to the transport,
+// converting a torn-down fabric into the abort panic.
+func (c *Comm) sendMsg(dst int, m Message) {
+	if dst < 0 || dst >= c.t.Size() {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
 	if dst == c.rank {
 		panic("mpi: send to self is not supported; collectives handle the local contribution directly")
 	}
-	m.data = append([]float64(nil), m.data...)
-	c.world.msgsSent.Add(1)
-	c.world.bytesSent.Add(int64(8 * len(m.data)))
-	select {
-	case c.world.mail[dst][c.rank] <- m:
-	case <-c.world.abort:
-		panic(abortError{})
+	if err := c.t.Send(c.rank, dst, m); err != nil {
+		if err == ErrAborted {
+			panic(abortError{})
+		}
+		// Transport misuse (e.g. an over-sized frame) is a loud local
+		// protocol bug, not an abort echo: name the real cause.
+		panic(err)
 	}
 }
 
-func (c *Comm) recvMsg(src, tag int) message {
-	if src < 0 || src >= c.world.size {
+func (c *Comm) recvMsg(src, tag int) Message {
+	if src < 0 || src >= c.t.Size() {
 		panic(fmt.Sprintf("mpi: recv from invalid rank %d", src))
 	}
 	if src == c.rank {
 		panic("mpi: recv from self is not supported")
 	}
-	select {
-	case m := <-c.world.mail[c.rank][src]:
-		if m.tag != tag {
-			panic(fmt.Sprintf("mpi: rank %d expected tag %d from rank %d, got %d",
-				c.rank, tag, src, m.tag))
+	m, err := c.t.Recv(c.rank, src)
+	if err != nil {
+		if err == ErrAborted {
+			panic(abortError{})
 		}
-		c.world.recvBytes[c.rank].Add(int64(8 * len(m.data)))
-		return m
-	case <-c.world.abort:
-		panic(abortError{})
+		panic(err)
 	}
+	if m.Tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from rank %d, got %d",
+			c.rank, tag, src, m.Tag))
+	}
+	return m
 }
 
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() {
-	if !c.world.barrier.await() {
+	if err := c.t.Barrier(c.rank); err != nil {
 		panic(abortError{})
 	}
-}
-
-// barrier is a reusable counting barrier with abort support.
-type barrier struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	size    int
-	count   int
-	gen     int
-	stopped bool
-}
-
-func newBarrier(size int) *barrier {
-	b := &barrier{size: size}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-// await blocks until all ranks arrive; it returns false if the barrier was
-// aborted while waiting.
-func (b *barrier) await() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.stopped {
-		return false
-	}
-	gen := b.gen
-	b.count++
-	if b.count == b.size {
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-		return true
-	}
-	for gen == b.gen && !b.stopped {
-		b.cond.Wait()
-	}
-	return !b.stopped
-}
-
-func (b *barrier) abort() {
-	b.mu.Lock()
-	b.stopped = true
-	b.cond.Broadcast()
-	b.mu.Unlock()
 }

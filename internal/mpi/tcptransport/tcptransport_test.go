@@ -1,0 +1,222 @@
+package tcptransport_test
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"goparsvd/internal/mat"
+	"goparsvd/internal/mpi"
+	"goparsvd/internal/mpi/tcptransport"
+	"goparsvd/internal/mpi/transporttest"
+	"goparsvd/internal/tsqr"
+)
+
+// runTCP adapts tcptransport.Run to the conformance Runner signature with
+// test-friendly timeouts.
+func runTCP(size int, fn func(c *mpi.Comm)) error {
+	_, err := tcptransport.Run(size, testOptions(), fn)
+	return err
+}
+
+func testOptions() tcptransport.Options {
+	return tcptransport.Options{
+		DialTimeout: 10 * time.Second,
+		IdleTimeout: 30 * time.Second,
+	}
+}
+
+// TestTCPTransportRoundTrip runs the shared transport-conformance suite
+// over real loopback sockets.
+func TestTCPTransportRoundTrip(t *testing.T) {
+	transporttest.RoundTrip(t, runTCP)
+}
+
+// TestTCPCollectives exercises the full collective surface — broadcast,
+// gather, scatter, reductions, allgather — over the TCP fabric. These are
+// the exact calls core.Parallel makes, so passing here means the SVD
+// pipeline is transport-clean.
+func TestTCPCollectives(t *testing.T) {
+	const p = 4
+	err := runTCP(p, func(c *mpi.Comm) {
+		// Bcast from a non-zero root.
+		got := c.BcastFloats(2, pick(c.Rank() == 2, []float64{3, 1, 4}, nil))
+		if len(got) != 3 || got[0] != 3 || got[2] != 4 {
+			t.Errorf("rank %d: BcastFloats = %v", c.Rank(), got)
+		}
+		// Gather at root.
+		g := c.GatherFloats(0, []float64{float64(c.Rank())})
+		if c.Rank() == 0 {
+			for r := 0; r < p; r++ {
+				if len(g[r]) != 1 || g[r][0] != float64(r) {
+					t.Errorf("gather[%d] = %v", r, g[r])
+				}
+			}
+		} else if g != nil {
+			t.Errorf("rank %d: non-root gather not nil", c.Rank())
+		}
+		// Allreduce.
+		sum := c.AllreduceSum([]float64{1})
+		if sum[0] != p {
+			t.Errorf("rank %d: AllreduceSum = %v", c.Rank(), sum)
+		}
+		// Scatter matrix rows.
+		var m *mat.Dense
+		if c.Rank() == 0 {
+			m = mat.NewFromRows([][]float64{{0}, {1}, {2}, {3}, {4}, {5}})
+		}
+		local := c.ScatterMatrixRows(0, m, []int{1, 2, 2, 1})
+		wantRows := []int{1, 2, 2, 1}[c.Rank()]
+		if local.Rows() != wantRows {
+			t.Errorf("rank %d: scatter rows = %d, want %d", c.Rank(), local.Rows(), wantRows)
+		}
+		// Allgather with ragged contributions.
+		all := c.AllgatherFloats(make([]float64, c.Rank()+1))
+		for r := 0; r < p; r++ {
+			if len(all[r]) != r+1 {
+				t.Errorf("rank %d: allgather[%d] len %d", c.Rank(), r, len(all[r]))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPBarrierOrdering verifies the centralized barrier has full-barrier
+// semantics: no rank proceeds before every rank has entered.
+func TestTCPBarrierOrdering(t *testing.T) {
+	var before, after atomic.Int32
+	err := runTCP(4, func(c *mpi.Comm) {
+		for i := 0; i < 5; i++ { // reusable across generations
+			before.Add(1)
+			c.Barrier()
+			if got := before.Load(); got < int32(4*(i+1)) {
+				t.Errorf("rank %d passed barrier %d with before=%d", c.Rank(), i, got)
+			}
+			c.Barrier()
+			after.Add(1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Load() != 20 {
+		t.Fatalf("after = %d, want 20", after.Load())
+	}
+}
+
+// TestTCPPanicAbortsPeers injects a rank failure mid-collective and
+// requires the whole TCP world to unwind: the panic is attributed to the
+// failing rank and the peers blocked in Recv/Barrier return instead of
+// hanging.
+func TestTCPPanicAbortsPeers(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		_, err := tcptransport.Run(4, testOptions(), func(c *mpi.Comm) {
+			if c.Rank() == 2 {
+				panic("rank 2 failed before contributing")
+			}
+			c.GatherFloats(0, []float64{1}) // root blocks on rank 2 forever
+			c.Barrier()
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		re := new(mpi.RankError)
+		if !errors.As(err, &re) || re.Rank != 2 {
+			t.Fatalf("err = %v, want RankError from rank 2", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("TCP abort propagation deadlocked")
+	}
+}
+
+// TestTCPTrafficCounters checks the aggregated counters match the payload
+// actually shipped (one 10-float vector = 80 bytes).
+func TestTCPTrafficCounters(t *testing.T) {
+	stats, err := tcptransport.Run(2, testOptions(), func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]float64, 10))
+		} else {
+			c.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages != 1 || stats.Bytes != 80 {
+		t.Fatalf("stats = %+v, want 1 message / 80 bytes", stats)
+	}
+	if stats.RecvBytes[1] != 80 || stats.RecvBytes[0] != 0 {
+		t.Fatalf("RecvBytes = %v, want [0 80]", stats.RecvBytes)
+	}
+}
+
+// TestTCPGatherQRMatchesChan runs the paper's distributed QR (Listing 4)
+// over both fabrics on identical inputs and requires bit-identical
+// factors: the transport must be invisible to the numerics.
+func TestTCPGatherQRMatchesChan(t *testing.T) {
+	const p, rows, cols = 4, 32, 6
+	blocks := make([]*mat.Dense, p)
+	for r := range blocks {
+		m := mat.New(rows, cols)
+		raw := m.RawData()
+		for i := range raw {
+			raw[i] = math.Sin(float64(i+1) * float64(r+1) * 0.7)
+		}
+		blocks[r] = m
+	}
+	type result struct {
+		q []*mat.Dense
+		r *mat.Dense
+	}
+	collect := func(run transporttest.Runner) result {
+		res := result{q: make([]*mat.Dense, p)}
+		if err := run(p, func(c *mpi.Comm) {
+			q, rf := tsqr.GatherQR(c, blocks[c.Rank()].Clone())
+			res.q[c.Rank()] = q
+			if c.Rank() == 0 {
+				res.r = rf
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	viaChan := collect(func(size int, fn func(c *mpi.Comm)) error {
+		_, err := mpi.Run(size, fn)
+		return err
+	})
+	viaTCP := collect(runTCP)
+	for r := 0; r < p; r++ {
+		if !bitsEqual(viaChan.q[r].RawData(), viaTCP.q[r].RawData()) {
+			t.Errorf("rank %d: Q differs between chan and tcp transports", r)
+		}
+	}
+	if !bitsEqual(viaChan.r.RawData(), viaTCP.r.RawData()) {
+		t.Error("global R differs between chan and tcp transports")
+	}
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func pick[T any](cond bool, a, b T) T {
+	if cond {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,195 @@
+package tcptransport
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"goparsvd/internal/mpi"
+)
+
+// TestWireDataRoundTrip property-checks the data-frame codec directly:
+// random shapes (including empty and single-element) and adversarial float
+// bit patterns must survive encode → frame read → decode unchanged.
+func TestWireDataRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1),
+		math.SmallestNonzeroFloat64, math.MaxFloat64}
+	cases := []mpi.Message{
+		{Tag: 0, Data: nil, Rows: -1},                           // empty vector
+		{Tag: 1, Data: []float64{42}, Rows: -1},                 // single element
+		{Tag: -3, Data: []float64{}, Rows: 0, Cols: 0},          // empty matrix
+		{Tag: 9, Data: specials, Rows: 2, Cols: 3},              // special values
+		{Tag: 1 << 40, Data: []float64{1, 2}, Rows: 1, Cols: 2}, // tag beyond 32 bits
+	}
+	for trial := 0; trial < 50; trial++ {
+		r, c := rng.Intn(12), rng.Intn(12)
+		data := make([]float64, r*c)
+		for i := range data {
+			data[i] = specials[rng.Intn(len(specials))]
+			if rng.Intn(2) == 0 {
+				data[i] = rng.NormFloat64()
+			}
+		}
+		cases = append(cases, mpi.Message{Tag: rng.Intn(100) - 50, Data: data, Rows: r, Cols: c})
+	}
+	for i, want := range cases {
+		frame := appendData(nil, want)
+		kind, body, err := readFrame(bytes.NewReader(frame), new([4]byte))
+		if err != nil || kind != kindData {
+			t.Fatalf("case %d: readFrame kind=%d err=%v", i, kind, err)
+		}
+		got, err := decodeData(body)
+		if err != nil {
+			t.Fatalf("case %d: decodeData: %v", i, err)
+		}
+		if got.Tag != want.Tag || got.Rows != want.Rows || got.Cols != want.Cols || len(got.Data) != len(want.Data) {
+			t.Fatalf("case %d: header mismatch: got %+v want %+v", i, got, want)
+		}
+		for j := range want.Data {
+			if math.Float64bits(got.Data[j]) != math.Float64bits(want.Data[j]) {
+				t.Fatalf("case %d: element %d changed bits: %x -> %x", i, j,
+					math.Float64bits(want.Data[j]), math.Float64bits(got.Data[j]))
+			}
+		}
+	}
+}
+
+func TestWireHandshakeFrames(t *testing.T) {
+	frame := appendHello(nil, 3, "10.0.0.7:9000")
+	kind, body, err := readFrame(bytes.NewReader(frame), new([4]byte))
+	if err != nil || kind != kindHello {
+		t.Fatalf("hello: kind=%d err=%v", kind, err)
+	}
+	rank, addr, err := decodeHello(body)
+	if err != nil || rank != 3 || addr != "10.0.0.7:9000" {
+		t.Fatalf("decodeHello = (%d, %q, %v)", rank, addr, err)
+	}
+
+	frame = appendIdent(nil, 11)
+	kind, body, err = readFrame(bytes.NewReader(frame), new([4]byte))
+	if err != nil || kind != kindIdent {
+		t.Fatalf("ident: kind=%d err=%v", kind, err)
+	}
+	if rank, err := decodeIdent(body); err != nil || rank != 11 {
+		t.Fatalf("decodeIdent = (%d, %v)", rank, err)
+	}
+
+	addrs := []string{"", "127.0.0.1:41001", "127.0.0.1:41002", ""}
+	frame = appendTable(nil, addrs)
+	kind, body, err = readFrame(bytes.NewReader(frame), new([4]byte))
+	if err != nil || kind != kindTable {
+		t.Fatalf("table: kind=%d err=%v", kind, err)
+	}
+	got, err := decodeTable(body)
+	if err != nil || len(got) != len(addrs) {
+		t.Fatalf("decodeTable = (%v, %v)", got, err)
+	}
+	for i := range addrs {
+		if got[i] != addrs[i] {
+			t.Fatalf("table[%d] = %q, want %q", i, got[i], addrs[i])
+		}
+	}
+}
+
+func TestWireRejectsCorruption(t *testing.T) {
+	// A zero-length frame and an absurd length must both be rejected.
+	if _, _, err := readFrame(bytes.NewReader([]byte{0, 0, 0, 0, 1}), new([4]byte)); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+	if _, _, err := readFrame(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff, 1}), new([4]byte)); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	// A data body whose float count disagrees with its length is corrupt.
+	frame := appendData(nil, mpi.Message{Tag: 1, Data: []float64{1, 2, 3}, Rows: -1})
+	if _, err := decodeData(frame[5 : len(frame)-8]); err == nil {
+		t.Error("truncated data body accepted")
+	}
+	// Hello/ident without the magic must be rejected.
+	if _, _, err := decodeHello(make([]byte, 14)); err == nil {
+		t.Error("hello without magic accepted")
+	}
+	if _, err := decodeIdent(make([]byte, 12)); err == nil {
+		t.Error("ident without magic accepted")
+	}
+}
+
+// TestIdleTimeoutAborts verifies deadline-based failure detection: a peer
+// that goes silent (heartbeats stopped, nothing sent) is declared dead
+// after IdleTimeout and the survivor's blocked Recv unwinds via the abort
+// path instead of hanging.
+func TestIdleTimeoutAborts(t *testing.T) {
+	ts, err := LocalWorld(2, Options{IdleTimeout: 400 * time.Millisecond, DialTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts[0].Close()
+	defer ts[1].Close()
+	// Silence rank 1: stop its heartbeat without any shutdown protocol, as
+	// if the process were wedged (not crashed — the socket stays open).
+	ts[1].pingOnce.Do(func() { close(ts[1].stopPing) })
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := ts[0].Recv(0, 1) // nothing will ever arrive
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != mpi.ErrAborted {
+			t.Fatalf("Recv after peer went silent: err = %v, want ErrAborted", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("idle-timeout failure detection never fired")
+	}
+}
+
+// TestAbruptDisconnectAborts verifies the crash path: a peer that vanishes
+// without the bye handshake (connection reset/EOF) aborts the survivor.
+func TestAbruptDisconnectAborts(t *testing.T) {
+	ts, err := LocalWorld(2, Options{IdleTimeout: 30 * time.Second, DialTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts[0].Close()
+	// Simulate a crash: rank 1's socket dies with no shutdown protocol.
+	ts[1].links[0].conn.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := ts[0].Recv(0, 1)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != mpi.ErrAborted {
+			t.Fatalf("Recv after peer crash: err = %v, want ErrAborted", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("crash detection never fired")
+	}
+}
+
+// TestGracefulCloseDeliversPending verifies bye semantics: messages sent
+// before a graceful Close stay receivable, and only then does the stream
+// report termination.
+func TestGracefulCloseDeliversPending(t *testing.T) {
+	ts, err := LocalWorld(2, Options{DialTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts[0].Close()
+	if err := ts[1].Send(1, 0, mpi.Message{Tag: 5, Data: []float64{1, 2}, Rows: -1}); err != nil {
+		t.Fatal(err)
+	}
+	ts[1].Close()
+	m, err := ts[0].Recv(0, 1)
+	if err != nil || m.Tag != 5 || len(m.Data) != 2 {
+		t.Fatalf("pending message lost across graceful close: m=%+v err=%v", m, err)
+	}
+	if _, err := ts[0].Recv(0, 1); err != mpi.ErrAborted {
+		t.Fatalf("post-close Recv err = %v, want ErrAborted", err)
+	}
+}

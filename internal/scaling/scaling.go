@@ -130,7 +130,7 @@ func RunMeasured(cfg MeasuredConfig) []Point {
 		}
 		points = append(points, Point{Ranks: p, Seconds: best, CommBytes: bytes})
 	}
-	fillEfficiency(points)
+	FillEfficiency(points)
 	return points
 }
 
@@ -216,7 +216,7 @@ func (m Model) Series(ranks []int) []Point {
 	for i, p := range ranks {
 		points[i] = Point{Ranks: p, Seconds: m.Time(p)}
 	}
-	fillEfficiency(points)
+	FillEfficiency(points)
 	return points
 }
 
@@ -230,8 +230,11 @@ func PowersOfTwo(max int) []int {
 	return out
 }
 
-// fillEfficiency sets Efficiency = T(first)/T(p) on a series.
-func fillEfficiency(points []Point) {
+// FillEfficiency sets Efficiency = T(first)/T(p) on a series — the
+// weak-scaling convention of Figure 1(c). Exported so every series
+// producer (measured, modeled, multi-process TCP) derives efficiency the
+// same way.
+func FillEfficiency(points []Point) {
 	if len(points) == 0 {
 		return
 	}

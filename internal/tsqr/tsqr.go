@@ -17,6 +17,12 @@
 // because both normalize signs so R has a non-negative diagonal — this is
 // the principled version of the paper's `qglobal = -qglobal` consistency
 // trick.
+//
+// Both algorithms speak only to *mpi.Comm, so they are transport-agnostic:
+// the same gather/correction exchanges run over the in-process channel
+// fabric and over the multi-process TCP mesh (internal/mpi/tcptransport),
+// and tcptransport's conformance tests pin GatherQR to bit-identical
+// factors across the two.
 package tsqr
 
 import (
@@ -27,11 +33,17 @@ import (
 	"goparsvd/internal/mpi"
 )
 
-// point-to-point tags used by the two algorithms.
+// Point-to-point tags used by the two algorithms. GatherQR follows the
+// paper's Listing 4 convention of destination-dependent tags
+// (tagQBlock+rank), so each algorithm gets its own 2¹⁶-wide block: the old
+// ten-apart constants collided once the world exceeded ten ranks — exactly
+// the regime the multi-process TCP transport opens up. Both fabrics carry
+// tags as full integers (the wire format uses an i64 field), so widening
+// costs nothing.
 const (
-	tagQBlock = 10 // paper Listing 4 uses dest-dependent tags rank+10
-	tagTreeR  = 20
-	tagTreeT  = 21
+	tagQBlock = 1 << 16
+	tagTreeR  = 2 << 16
+	tagTreeT  = 2<<16 + 1
 )
 
 // GatherQR computes the thin QR factorization of the row-distributed matrix
