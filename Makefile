@@ -5,7 +5,7 @@ GO ?= go
 # benchstat wants repeated samples; `make bench BENCH_COUNT=10` feeds it.
 BENCH_COUNT ?= 1
 
-.PHONY: check build test vet fmt race smoke bench bench-gate bench-stream worker
+.PHONY: check build test vet fmt race smoke examples examples-gate bench bench-gate bench-stream worker
 
 check: build test vet fmt
 
@@ -37,6 +37,21 @@ smoke:
 
 worker:
 	$(GO) build -o bin/parsvd-worker ./cmd/parsvd-worker
+
+# Public-API consumer gate: every example must build against the public
+# packages only, quickstart must run end-to-end, and neither examples/
+# nor README code blocks may import goparsvd/internal.
+examples: examples-gate
+	$(GO) build ./examples/...
+	$(GO) run ./examples/quickstart
+
+examples-gate:
+	@bad=$$(grep -rn '"goparsvd/internal' examples/ README.md || true); \
+	if [ -n "$$bad" ]; then \
+		echo "examples-gate: public consumers must not import goparsvd/internal:"; \
+		echo "$$bad"; exit 1; \
+	fi; \
+	echo "examples-gate OK: no internal imports in examples/ or README.md"
 
 # benchstat-compatible output: standard `go test -bench` lines; pipe two
 # runs into `benchstat old.txt new.txt`.

@@ -1,0 +1,74 @@
+package parsvd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"goparsvd/internal/launch"
+)
+
+// fitDistributed runs the decomposition as one OS process per rank over
+// loopback TCP: cmd/parsvd-worker processes rendezvous through rank 0 and
+// replay the deterministic workload locally, so no snapshot data crosses
+// the launcher boundary. Called with s.mu held.
+func (s *SVD) fitDistributed(ctx context.Context, src Source) (*Result, error) {
+	ws, ok := src.(*workloadSource)
+	if !ok {
+		return nil, errors.New("parsvd: the Distributed backend requires a FromWorkload source (worker processes replay the workload locally)")
+	}
+	if ws.ranks != s.cfg.ranks {
+		return nil, fmt.Errorf("parsvd: FromWorkload was sized for %d ranks but the SVD runs %d; pass the same rank count to both", ws.ranks, s.cfg.ranks)
+	}
+	if err := s.cfg.checkWorkload(ws.w); err != nil {
+		return nil, err
+	}
+	cfg := launch.Config{
+		Ranks:       s.cfg.ranks,
+		Workload:    ws.w,
+		WorkerBin:   s.cfg.transport.WorkerBin,
+		Timeout:     s.cfg.transport.Timeout,
+		IdleTimeout: s.cfg.transport.IdleTimeout,
+		Stderr:      s.cfg.transport.Stderr,
+	}
+	// Map a context deadline onto the launcher's hard timeout, which is
+	// what actually reaps stuck workers.
+	if dl, ok := ctx.Deadline(); ok {
+		budget := time.Until(dl)
+		if budget <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+		if cfg.Timeout == 0 || budget < cfg.Timeout {
+			cfg.Timeout = budget
+		}
+	}
+
+	lres, err := launch.RunContext(ctx, cfg)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, fmt.Errorf("parsvd: distributed run: %w", err)
+	}
+	root := lres.Root()
+	st := lres.MPIStats()
+	s.distRes = &Result{
+		Singular:    root.Singular(),
+		Iterations:  workloadIterations(ws.w),
+		Snapshots:   ws.w.Snapshots,
+		ModesSHA256: root.ModesSHA256,
+	}
+	s.distSts = Stats{Ranks: st.Ranks, Messages: st.Messages, Bytes: st.Bytes}
+	return s.distRes.clone(), nil
+}
+
+// workloadIterations counts the IncorporateData calls a workload produces
+// (the Initialize batch is not an iteration).
+func workloadIterations(w Workload) int {
+	rest := w.Snapshots - w.InitBatch
+	if rest <= 0 {
+		return 0
+	}
+	return (rest + w.Batch - 1) / w.Batch
+}

@@ -6,7 +6,7 @@
 // quality metric (mode error, efficiency, cosine) alongside time via
 // b.ReportMetric, so a bench run doubles as a regression check on result
 // quality, not just speed.
-package goparsvd_test
+package parsvd_test
 
 import (
 	"fmt"

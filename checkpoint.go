@@ -1,0 +1,37 @@
+package parsvd
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"goparsvd/internal/core"
+)
+
+// ErrBadCheckpoint is returned by Load for data that is not a goparsvd
+// checkpoint or is structurally damaged.
+var ErrBadCheckpoint = core.ErrBadCheckpoint
+
+// Load reconstructs a decomposition from a checkpoint written by Save (or
+// by the engine-level writer): a serial-backend SVD holding the global
+// modes, singular values and counters, ready to continue streaming with
+// Push or Fit. Checkpoints of parallel runs were gathered to global state
+// at Save time, so they load the same way.
+func Load(r io.Reader) (*SVD, error) {
+	if r == nil {
+		return nil, errors.New("parsvd: Load with nil reader")
+	}
+	eng, err := core.LoadSerial(r)
+	if err != nil {
+		return nil, fmt.Errorf("parsvd: %w", err)
+	}
+	opts := eng.Options()
+	cfg := defaultConfig()
+	cfg.k = opts.K
+	cfg.ff = opts.ForgetFactor
+	cfg.lowRank = opts.LowRank
+	cfg.rlaOpts = opts.RLA
+	cfg.r1 = opts.R1
+	cfg.method = opts.Method
+	return &SVD{cfg: cfg, eng: restoredSerialEngine(eng)}, nil
+}

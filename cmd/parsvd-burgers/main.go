@@ -1,7 +1,8 @@
 // Command parsvd-burgers reproduces Figures 1(a) and 1(b) of the PyParSVD
 // paper: coherent structures (SVD modes) of the viscous Burgers equation,
 // computed with the serial streaming SVD and with the distributed
-// randomized+parallel streaming SVD, overlaid and differenced.
+// randomized+parallel streaming SVD (both through the public parsvd
+// facade), overlaid and differenced.
 //
 // The defaults match the paper's configuration: a 16384-point grid, 800
 // snapshots on t ∈ [0, 2] at Re = 1000, 4 ranks, K = 10 modes, forget
@@ -17,19 +18,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
-	"sync"
 	"time"
 
-	"goparsvd/internal/burgers"
-	"goparsvd/internal/core"
-	"goparsvd/internal/mat"
-	"goparsvd/internal/mpi"
-	"goparsvd/internal/postproc"
+	parsvd "goparsvd"
+	"goparsvd/datasets"
+	"goparsvd/postproc"
 )
 
 func main() {
@@ -50,56 +49,56 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := burgers.Config{L: 1, Re: *re, Nx: *nx, Nt: *nt, TFinal: 2}
+	cfg := datasets.Burgers(*nx, *nt, *re)
 	if err := os.MkdirAll(*outdir, 0o755); err != nil {
 		log.Fatal(err)
 	}
 
 	log.Printf("workload: %d x %d Burgers snapshot matrix, Re=%g", *nx, *nt, *re)
+	a := cfg.Snapshots()
+	ctx := context.Background()
 
 	// Serial streaming SVD over batches of columns.
-	serialOpts := core.Options{K: *k, ForgetFactor: *ff}
+	serial, err := parsvd.New(parsvd.WithModes(*k), parsvd.WithForgetFactor(*ff))
+	if err != nil {
+		log.Fatal(err)
+	}
 	tSerial := time.Now()
-	serial := core.NewSerial(serialOpts)
-	serial.Initialize(cfg.SnapshotsCols(0, minInt(*batch, *nt)))
-	for off := *batch; off < *nt; off += *batch {
-		serial.IncorporateData(cfg.SnapshotsCols(off, minInt(off+*batch, *nt)))
+	sres, err := serial.Fit(ctx, parsvd.FromMatrix(a, *batch))
+	if err != nil {
+		log.Fatal(err)
 	}
 	serialSecs := time.Since(tSerial).Seconds()
-	log.Printf("serial streaming SVD: %.2fs (%d iterations)", serialSecs, serial.Iterations())
+	log.Printf("serial streaming SVD: %.2fs (%d iterations)", serialSecs, sres.Iterations)
 
-	// Parallel streaming SVD: each rank owns a contiguous row block.
-	parOpts := core.Options{K: *k, ForgetFactor: *ff, LowRank: *lowRnk, R1: *r1}
-	parts := cfg.Partition(*ranks)
-	var (
-		mu       sync.Mutex
-		parModes *mat.Dense
-		parVals  []float64
-	)
+	// Parallel streaming SVD: the facade partitions rows across ranks.
+	parOpts := []parsvd.Option{
+		parsvd.WithModes(*k), parsvd.WithForgetFactor(*ff),
+		parsvd.WithInitRank(*r1),
+		parsvd.WithBackend(parsvd.Parallel), parsvd.WithRanks(*ranks),
+	}
+	if *lowRnk {
+		parOpts = append(parOpts, parsvd.WithLowRank())
+	}
+	par, err := parsvd.New(parOpts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer par.Close()
 	tPar := time.Now()
-	stats := mpi.MustRun(*ranks, func(c *mpi.Comm) {
-		r0, r1q := parts[c.Rank()][0], parts[c.Rank()][1]
-		eng := core.NewParallel(c, parOpts)
-		eng.Initialize(cfg.Block(r0, r1q, 0, minInt(*batch, *nt)))
-		for off := *batch; off < *nt; off += *batch {
-			eng.IncorporateData(cfg.Block(r0, r1q, off, minInt(off+*batch, *nt)))
-		}
-		gathered := eng.GatherModes()
-		if c.Rank() == 0 {
-			mu.Lock()
-			parModes = gathered
-			parVals = append([]float64(nil), eng.SingularValues()...)
-			mu.Unlock()
-		}
-	})
+	pres, err := par.Fit(ctx, parsvd.FromMatrix(a, *batch))
+	if err != nil {
+		log.Fatal(err)
+	}
 	parSecs := time.Since(tPar).Seconds()
+	stats := par.Stats()
 	log.Printf("parallel streaming SVD (%d ranks): %.2fs, %d messages, %.1f MB moved",
 		*ranks, parSecs, stats.Messages, float64(stats.Bytes)/1e6)
 
 	// Align and compare (Figure 1a/1b content).
-	sm := serial.Modes()
-	aligned := postproc.AlignSigns(sm, parModes)
-	errs := postproc.CompareModes(sm, parModes)
+	sm := sres.Modes
+	aligned := postproc.AlignSigns(sm, pres.Modes)
+	errs := postproc.CompareModes(sm, pres.Modes)
 	fmt.Println()
 	fmt.Println("serial vs parallel mode errors (sign-aligned):")
 	fmt.Printf("%5s  %12s  %12s  %10s\n", "mode", "L2", "max|diff|", "cosine")
@@ -109,10 +108,10 @@ func main() {
 
 	fmt.Println()
 	fmt.Println("singular values:")
-	if err := writeCSVs(*outdir, cfg, sm, aligned, serial.SingularValues(), parVals); err != nil {
+	if err := writeCSVs(*outdir, cfg, sm, aligned, sres.Singular, pres.Singular); err != nil {
 		log.Fatal(err)
 	}
-	postproc.SingularValueReport(os.Stdout, serial.SingularValues())
+	postproc.SingularValueReport(os.Stdout, sres.Singular)
 
 	plotMode(sm, aligned, 0, "Figure 1(a): mode 1, serial (*) vs parallel (+)")
 	plotMode(sm, aligned, 1, "Figure 1(b): mode 2, serial (*) vs parallel (+)")
@@ -121,7 +120,7 @@ func main() {
 	fmt.Printf("artifacts written to %s\n", *outdir)
 }
 
-func plotMode(serial, parallel *mat.Dense, mode int, title string) {
+func plotMode(serial, parallel *parsvd.Matrix, mode int, title string) {
 	if mode >= serial.Cols() {
 		return
 	}
@@ -130,7 +129,7 @@ func plotMode(serial, parallel *mat.Dense, mode int, title string) {
 		[]string{"serial", "parallel"}, serial.Col(mode), parallel.Col(mode))
 }
 
-func writeCSVs(outdir string, cfg burgers.Config, serial, parallel *mat.Dense, sVals, pVals []float64) error {
+func writeCSVs(outdir string, cfg datasets.BurgersConfig, serial, parallel *parsvd.Matrix, sVals, pVals []float64) error {
 	x := cfg.Grid()
 	for _, item := range []struct {
 		file string
@@ -146,7 +145,7 @@ func writeCSVs(outdir string, cfg burgers.Config, serial, parallel *mat.Dense, s
 		if err != nil {
 			return err
 		}
-		both := mat.HStack(serial.SliceCols(item.mode, item.mode+1),
+		both := parsvd.HStack(serial.SliceCols(item.mode, item.mode+1),
 			parallel.SliceCols(item.mode, item.mode+1))
 		if err := postproc.WriteModesCSV(f, x, both); err != nil {
 			f.Close()

@@ -1,21 +1,22 @@
 // Command parsvd-era5 reproduces Figure 2 of the PyParSVD paper: coherent
 // structures of a global surface-pressure data set extracted with the
-// parallel streaming SVD, including the parallel-I/O stage (every rank
-// reads its own hyperslab of a shared self-describing file).
+// parallel streaming SVD through the public parsvd facade, including the
+// file-backed I/O stage (the snapshot matrix is streamed back out of a
+// self-describing container batch by batch).
 //
 // The real ERA5 reanalysis is a gated download, so the data set is the
-// synthetic equivalent from internal/climate, whose leading coherent
+// synthetic equivalent from goparsvd/datasets, whose leading coherent
 // structures are known by construction (see DESIGN.md). That turns
 // Figure 2 from a visual result into a checkable one: the extracted mode 1
 // must match the climatological mean structure and mode 2 the annual-cycle
 // pattern, and the command reports both cosine similarities.
 //
-// Pipeline: generate → write GNC file (time×lat×lon) → P ranks each
-// ReadSlab their latitude band batch by batch → Parallel streaming SVD →
-// gather modes → PGM heatmaps + CSV.
+// Pipeline: generate → write GNC file (time×lat×lon) → stream the file
+// through the Parallel backend via parsvd.FromNetCDF → PGM heatmaps + CSV.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,13 +25,10 @@ import (
 	"sync"
 	"time"
 
-	"goparsvd/internal/climate"
-	"goparsvd/internal/core"
-	"goparsvd/internal/grid"
-	"goparsvd/internal/mat"
-	"goparsvd/internal/mpi"
-	"goparsvd/internal/ncio"
-	"goparsvd/internal/postproc"
+	parsvd "goparsvd"
+	"goparsvd/datasets"
+	"goparsvd/gnc"
+	"goparsvd/postproc"
 )
 
 func main() {
@@ -56,12 +54,12 @@ func main() {
 		log.Fatal(err)
 	}
 	snapshots := int(float64(*years) * 365 * 24 / *stepHours)
-	cfg := climate.Config{
+	cfg := datasets.ClimateConfig{
 		NLat: *nlat, NLon: *nlon,
 		Snapshots: snapshots, StepHours: *stepHours,
 		Seed: 2013, NoiseAmp: 1.5,
 	}
-	gen := climate.New(cfg)
+	gen := datasets.NewClimate(cfg)
 
 	path := *dataFile
 	if path == "" {
@@ -76,53 +74,41 @@ func main() {
 		log.Printf("reusing existing data set %s", path)
 	}
 
-	// Parallel phase: ranks partition the latitude axis, read their slabs
-	// batch by batch, and stream them through the distributed SVD.
-	latParts := grid.Partition(*nlat, *ranks)
-	var (
-		mu    sync.Mutex
-		modes *mat.Dense
-		vals  []float64
-	)
+	// Parallel phase: the facade streams the file variable through the
+	// distributed SVD, partitioning rows across in-process ranks.
+	opts := []parsvd.Option{
+		parsvd.WithModes(*k), parsvd.WithForgetFactor(*ff), parsvd.WithInitRank(50),
+		parsvd.WithBackend(parsvd.Parallel), parsvd.WithRanks(*ranks),
+	}
+	if *lowRank {
+		opts = append(opts, parsvd.WithLowRank())
+	}
+	svd, err := parsvd.New(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svd.Close()
+
+	src, err := parsvd.FromNetCDF(path, "pressure", *batch)
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
-	stats := mpi.MustRun(*ranks, func(c *mpi.Comm) {
-		f, err := ncio.Open(path)
-		if err != nil {
-			panic(err)
-		}
-		defer f.Close()
-		la0, la1 := latParts[c.Rank()].Start, latParts[c.Rank()].End
-		eng := core.NewParallel(c, core.Options{
-			K: *k, ForgetFactor: *ff, LowRank: *lowRank, R1: 50,
-		})
-		for off := 0; off < snapshots; off += *batch {
-			end := off + *batch
-			if end > snapshots {
-				end = snapshots
-			}
-			block := readBlock(f, cfg, la0, la1, off, end)
-			if off == 0 {
-				eng.Initialize(block)
-			} else {
-				eng.IncorporateData(block)
-			}
-		}
-		gathered := eng.GatherModes()
-		if c.Rank() == 0 {
-			mu.Lock()
-			modes = gathered
-			vals = append([]float64(nil), eng.SingularValues()...)
-			mu.Unlock()
-		}
-	})
+	res, err := svd.Fit(context.Background(), src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := svd.Stats()
 	log.Printf("parallel streaming SVD (%d ranks): %.2fs, %d messages, %.1f MB moved",
 		*ranks, time.Since(start).Seconds(), stats.Messages, float64(stats.Bytes)/1e6)
+
+	modes, vals := res.Modes, res.Singular
 
 	// Validation against the generator's known structures.
 	fmt.Println()
 	fmt.Println("mode validation (|cosine| against known generator structure):")
-	cos1 := grid.AbsCosine(modes.Col(0), gen.MeanField())
-	cos2 := grid.AbsCosine(modes.Col(1), gen.AnnualField())
+	cos1 := postproc.AbsCosine(modes.Col(0), gen.MeanField())
+	cos2 := postproc.AbsCosine(modes.Col(1), gen.AnnualField())
 	fmt.Printf("  mode 1 vs climatological mean : %.6f\n", cos1)
 	fmt.Printf("  mode 2 vs annual-cycle pattern: %.6f\n", cos2)
 
@@ -158,9 +144,9 @@ func main() {
 
 // writeDataset generates the synthetic pressure field and writes it as a
 // GNC file with time, lat, lon dimensions and coordinate variables.
-func writeDataset(path string, gen *climate.Generator) error {
+func writeDataset(path string, gen *datasets.ClimateGenerator) error {
 	cfg := gen.Config()
-	w, err := ncio.Create(path)
+	w, err := gnc.Create(path)
 	if err != nil {
 		return err
 	}
@@ -171,12 +157,12 @@ func writeDataset(path string, gen *climate.Generator) error {
 		func() error {
 			// Single precision, like the real ERA5 archive: halves the
 			// file and exercises the widening read path.
-			return w.DefineVarTyped("pressure", ncio.Float32, []string{"time", "lat", "lon"},
+			return w.DefineVarTyped("pressure", gnc.Float32, []string{"time", "lat", "lon"},
 				map[string]string{"units": "hPa", "long_name": "synthetic surface pressure"})
 		},
 		func() error { return w.DefineVar("lat", []string{"lat"}, map[string]string{"units": "degrees_north"}) },
 		func() error { return w.DefineVar("lon", []string{"lon"}, map[string]string{"units": "degrees_east"}) },
-		func() error { return w.SetGlobalAttr("source", "goparsvd internal/climate synthetic ERA5 analogue") },
+		func() error { return w.SetGlobalAttr("source", "goparsvd datasets synthetic ERA5 analogue") },
 		func() error { return w.EndDef() },
 		func() error { return w.WriteVar("lat", gen.Lat()) },
 		func() error { return w.WriteVar("lon", gen.Lon()) },
@@ -220,29 +206,6 @@ func writeDataset(path string, gen *climate.Generator) error {
 		}
 	}
 	return w.Close()
-}
-
-// readBlock reads the latitude band [la0, la1) for snapshots [s0, s1) and
-// reshapes it into a (rows=grid points, cols=snapshots) matrix block.
-func readBlock(f *ncio.File, cfg climate.Config, la0, la1, s0, s1 int) *mat.Dense {
-	nLon := cfg.NLon
-	rows := (la1 - la0) * nLon
-	cols := s1 - s0
-	raw, err := f.ReadSlab("pressure",
-		[]int64{int64(s0), int64(la0), 0},
-		[]int64{int64(cols), int64(la1 - la0), int64(nLon)})
-	if err != nil {
-		panic(err)
-	}
-	// raw is [time][lat][lon]; the engine wants [grid row][time].
-	out := mat.New(rows, cols)
-	for t := 0; t < cols; t++ {
-		base := t * rows
-		for r := 0; r < rows; r++ {
-			out.Set(r, t, raw[base+r])
-		}
-	}
-	return out
 }
 
 func writeValsCSV(path string, vals []float64) error {

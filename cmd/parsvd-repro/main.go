@@ -3,7 +3,8 @@
 // (ERA5-analogue modes, Figure 2) — at a configurable scale and writes a
 // single markdown report with the paper-vs-measured summary for each
 // experiment. It is the one-command regeneration path behind
-// EXPERIMENTS.md.
+// EXPERIMENTS.md, and drives the mode-extraction experiments through the
+// public parsvd facade.
 //
 // Scales:
 //
@@ -12,23 +13,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
 	"strings"
-	"sync"
 	"time"
 
-	"goparsvd/internal/burgers"
-	"goparsvd/internal/climate"
-	"goparsvd/internal/core"
-	"goparsvd/internal/grid"
-	"goparsvd/internal/mat"
-	"goparsvd/internal/mpi"
-	"goparsvd/internal/postproc"
+	parsvd "goparsvd"
+	"goparsvd/datasets"
 	"goparsvd/internal/scaling"
+	"goparsvd/postproc"
 )
 
 type sizes struct {
@@ -92,56 +90,43 @@ func main() {
 	fmt.Printf("report written to %s\n", path)
 }
 
+// mustFit builds a facade SVD, drains src through it and returns the
+// result, treating any error as fatal (this is a batch experiment
+// driver).
+func mustFit(src parsvd.Source, opts ...parsvd.Option) *parsvd.Result {
+	svd, err := parsvd.New(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svd.Close()
+	res, err := svd.Fit(context.Background(), src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
 // runBurgers executes E1/E2: serial vs parallel streamed modes of the
 // Burgers snapshot matrix.
 func runBurgers(report *strings.Builder, sz sizes, ranks int) {
 	log.Printf("E1/E2: Burgers %dx%d, %d ranks", sz.burgersNx, sz.burgersNt, ranks)
-	cfg := burgers.Config{L: 1, Re: 1000, Nx: sz.burgersNx, Nt: sz.burgersNt, TFinal: 2}
-	opts := core.Options{K: 10, ForgetFactor: 0.95, R1: 50}
+	cfg := datasets.Burgers(sz.burgersNx, sz.burgersNt, 1000)
+	a := cfg.Snapshots()
+	base := []parsvd.Option{
+		parsvd.WithModes(10), parsvd.WithForgetFactor(0.95), parsvd.WithInitRank(50),
+	}
 
 	t0 := time.Now()
-	serial := core.NewSerial(opts)
-	for off := 0; off < sz.burgersNt; off += sz.burgersBatch {
-		end := minInt(off+sz.burgersBatch, sz.burgersNt)
-		b := cfg.SnapshotsCols(off, end)
-		if off == 0 {
-			serial.Initialize(b)
-		} else {
-			serial.IncorporateData(b)
-		}
-	}
+	serial := mustFit(parsvd.FromMatrix(a, sz.burgersBatch), base...)
 	serialSecs := time.Since(t0).Seconds()
 
-	parOpts := opts
-	parOpts.LowRank = true
-	parts := cfg.Partition(ranks)
-	var (
-		mu       sync.Mutex
-		parModes *mat.Dense
-	)
 	t1 := time.Now()
-	mpi.MustRun(ranks, func(c *mpi.Comm) {
-		r0, r1 := parts[c.Rank()][0], parts[c.Rank()][1]
-		eng := core.NewParallel(c, parOpts)
-		for off := 0; off < sz.burgersNt; off += sz.burgersBatch {
-			end := minInt(off+sz.burgersBatch, sz.burgersNt)
-			b := cfg.Block(r0, r1, off, end)
-			if off == 0 {
-				eng.Initialize(b)
-			} else {
-				eng.IncorporateData(b)
-			}
-		}
-		gathered := eng.GatherModes()
-		if c.Rank() == 0 {
-			mu.Lock()
-			parModes = gathered
-			mu.Unlock()
-		}
-	})
+	parallel := mustFit(parsvd.FromMatrix(a, sz.burgersBatch), append(base,
+		parsvd.WithLowRank(),
+		parsvd.WithBackend(parsvd.Parallel), parsvd.WithRanks(ranks))...)
 	parSecs := time.Since(t1).Seconds()
 
-	errs := postproc.CompareModes(serial.Modes(), parModes)
+	errs := postproc.CompareModes(serial.Modes, parallel.Modes)
 	fmt.Fprintf(report, "## E1/E2 — Figure 1(a,b): Burgers modes, serial vs parallel\n\n")
 	fmt.Fprintf(report, "- paper: serial and randomized+parallel modes overlap with low error magnitude\n")
 	fmt.Fprintf(report, "- measured (%dx%d, %d ranks): mode-1 max|diff| %.2e, mode-2 max|diff| %.2e\n",
@@ -173,42 +158,34 @@ func runScaling(report *strings.Builder, sz sizes) {
 	fmt.Fprintf(report, "```\n%s```\n\n", scaling.FormatSeries("measured", measured))
 }
 
-// runClimate executes E4: the ERA5-analogue coherent-structure extraction.
+// runClimate executes E4: the ERA5-analogue coherent-structure
+// extraction, streaming generator batches through FromBatches.
 func runClimate(report *strings.Builder, sz sizes, ranks int) {
 	log.Printf("E4: climate %dx%d, %d snapshots", sz.climNLat, sz.climNLon, sz.climSnapshots)
-	cfg := climate.Config{
+	cfg := datasets.ClimateConfig{
 		NLat: sz.climNLat, NLon: sz.climNLon,
 		Snapshots: sz.climSnapshots, StepHours: sz.climStepHours,
 		Seed: 2013, NoiseAmp: 1.5,
 	}
-	gen := climate.New(cfg)
+	gen := datasets.NewClimate(cfg)
 	batch := maxInt(sz.climSnapshots/10, 20)
-	parts := grid.Partition(cfg.M(), ranks)
-	var (
-		mu    sync.Mutex
-		modes *mat.Dense
-	)
-	mpi.MustRun(ranks, func(c *mpi.Comm) {
-		r0, r1 := parts[c.Rank()].Start, parts[c.Rank()].End
-		eng := core.NewParallel(c, core.Options{K: 10, ForgetFactor: 0.95, LowRank: true, R1: 50})
-		for off := 0; off < sz.climSnapshots; off += batch {
-			end := minInt(off+batch, sz.climSnapshots)
-			b := gen.RowBlock(r0, r1, off, end)
-			if off == 0 {
-				eng.Initialize(b)
-			} else {
-				eng.IncorporateData(b)
-			}
+
+	off := 0
+	src := parsvd.FromBatches(func() (*parsvd.Matrix, error) {
+		if off >= sz.climSnapshots {
+			return nil, io.EOF
 		}
-		gathered := eng.GatherModes()
-		if c.Rank() == 0 {
-			mu.Lock()
-			modes = gathered
-			mu.Unlock()
-		}
+		end := minInt(off+batch, sz.climSnapshots)
+		b := gen.RowBlock(0, cfg.M(), off, end)
+		off = end
+		return b, nil
 	})
-	cos1 := grid.AbsCosine(modes.Col(0), gen.MeanField())
-	cos2 := grid.AbsCosine(modes.Col(1), gen.AnnualField())
+	res := mustFit(src,
+		parsvd.WithModes(10), parsvd.WithForgetFactor(0.95), parsvd.WithLowRank(),
+		parsvd.WithInitRank(50), parsvd.WithBackend(parsvd.Parallel), parsvd.WithRanks(ranks))
+
+	cos1 := postproc.AbsCosine(res.Modes.Col(0), gen.MeanField())
+	cos2 := postproc.AbsCosine(res.Modes.Col(1), gen.AnnualField())
 	fmt.Fprintf(report, "## E4 — Figure 2: global pressure coherent structures\n\n")
 	fmt.Fprintf(report, "- paper: modes 1 and 2 of ERA5 surface pressure, qualitative maps\n")
 	fmt.Fprintf(report, "- measured (synthetic analogue with planted structure): mode 1 vs climatology cosine %.4f, mode 2 vs annual cycle cosine %.4f\n\n", cos1, cos2)

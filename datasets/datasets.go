@@ -1,0 +1,41 @@
+// Package datasets exposes goparsvd's deterministic snapshot generators
+// for library consumers: the analytic viscous-Burgers solution used by
+// the paper's Figure 1 experiments, and the synthetic global-pressure
+// field standing in for the gated ERA5 reanalysis of Figure 2 (its
+// leading coherent structures are planted, so extracted modes can be
+// validated instead of eyeballed). Examples and benchmarks build their
+// inputs here and feed them to the parsvd facade.
+package datasets
+
+import (
+	"goparsvd/internal/burgers"
+	"goparsvd/internal/climate"
+)
+
+// BurgersConfig parameterizes the analytic viscous-Burgers snapshot
+// generator: Nx grid points on [0, L], Nt snapshots on [0, TFinal] at
+// Reynolds number Re. Its Snapshots / SnapshotsCols / Block methods
+// produce the (grid × time) matrix and arbitrary sub-blocks of it.
+type BurgersConfig = burgers.Config
+
+// DefaultBurgers returns the paper-scale Burgers configuration.
+func DefaultBurgers() BurgersConfig { return burgers.DefaultConfig() }
+
+// Burgers returns a Burgers generator for the given grid, snapshot count
+// and Reynolds number on x ∈ [0, 1], t ∈ [0, 2] (the paper's domain).
+func Burgers(nx, nt int, re float64) BurgersConfig {
+	return BurgersConfig{L: 1, Re: re, Nx: nx, Nt: nt, TFinal: 2}
+}
+
+// ClimateConfig parameterizes the synthetic global pressure data set: an
+// NLat×NLon grid sampled every StepHours with planted climatology,
+// annual-cycle and travelling-wave structures plus noise.
+type ClimateConfig = climate.Config
+
+// ClimateGenerator produces pressure snapshots for a ClimateConfig; its
+// MeanField and AnnualField accessors return the planted structures that
+// extracted modes are validated against.
+type ClimateGenerator = climate.Generator
+
+// NewClimate builds a generator for the configuration.
+func NewClimate(cfg ClimateConfig) *ClimateGenerator { return climate.New(cfg) }

@@ -1,0 +1,158 @@
+package parsvd_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	parsvd "goparsvd"
+)
+
+// plantedSnapshots builds a 6×4 snapshot matrix whose exact singular
+// values are 5, 3, 2, 1: column j is σ_j times the j-th unit vector.
+func plantedSnapshots() *parsvd.Matrix {
+	a := parsvd.NewMatrix(6, 4)
+	for j, sigma := range []float64{5, 3, 2, 1} {
+		a.Set(j, j, sigma)
+	}
+	return a
+}
+
+// The zero-option constructor is a serial streaming SVD; every knob is a
+// functional option and invalid settings come back as errors, not panics.
+func ExampleNew() {
+	svd, err := parsvd.New(
+		parsvd.WithModes(4),
+		parsvd.WithForgetFactor(1.0),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("backend:", svd.Backend())
+
+	_, err = parsvd.New(parsvd.WithForgetFactor(2.0))
+	fmt.Println("error:", err)
+	// Output:
+	// backend: serial
+	// error: parsvd: WithForgetFactor(2): forget factor must be in (0, 1]
+}
+
+// The serial backend (ParSVD_Serial) streams batches through Fit and
+// recovers the planted spectrum exactly when ff = 1.
+func ExampleSVD_Fit() {
+	svd, err := parsvd.New(parsvd.WithModes(4))
+	if err != nil {
+		panic(err)
+	}
+	res, err := svd.Fit(context.Background(), parsvd.FromMatrix(plantedSnapshots(), 2))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("snapshots: %d, updates: %d\n", res.Snapshots, res.Iterations)
+	for _, s := range res.Singular {
+		fmt.Printf("%.1f ", s)
+	}
+	fmt.Println()
+	// Output:
+	// snapshots: 4, updates: 1
+	// 5.0 3.0 2.0 1.0
+}
+
+// The parallel backend (ParSVD_Parallel) runs the same Source across
+// in-process ranks; the result carries the gathered global modes.
+func ExampleSVD_Fit_parallelBackend() {
+	svd, err := parsvd.New(
+		parsvd.WithModes(4),
+		parsvd.WithBackend(parsvd.Parallel),
+		parsvd.WithRanks(2),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer svd.Close()
+	res, err := svd.Fit(context.Background(), parsvd.FromMatrix(plantedSnapshots(), 2))
+	if err != nil {
+		panic(err)
+	}
+	r, c := res.Modes.Dims()
+	fmt.Printf("global modes: %dx%d\n", r, c)
+	for _, s := range res.Singular {
+		fmt.Printf("%.1f ", s)
+	}
+	fmt.Println()
+	// Output:
+	// global modes: 6x4
+	// 5.0 3.0 2.0 1.0
+}
+
+// The distributed backend runs one OS process per rank over loopback TCP
+// on a deterministic workload, and reports the spectrum plus a bit-exact
+// fingerprint of the gathered modes.
+func ExampleSVD_Fit_distributedBackend() {
+	const ranks = 2
+	w := parsvd.DefaultWorkload()
+	w.RowsPerRank = 64
+	w.Snapshots = 24
+	w.InitBatch = 8
+	w.Batch = 8
+	w.K = 4
+	w.R1 = 8
+
+	svd, err := parsvd.New(
+		parsvd.WithBackend(parsvd.Distributed),
+		parsvd.WithRanks(ranks),
+		parsvd.WithModes(w.K),
+		parsvd.WithForgetFactor(w.FF),
+		parsvd.WithInitRank(w.R1),
+	)
+	if err != nil {
+		panic(err)
+	}
+	src, err := parsvd.FromWorkload(w, ranks)
+	if err != nil {
+		panic(err)
+	}
+	res, err := svd.Fit(context.Background(), src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("snapshots: %d, updates: %d, modes: %d, fingerprinted: %v\n",
+		res.Snapshots, res.Iterations, len(res.Singular), res.ModesSHA256 != "")
+	// Output:
+	// snapshots: 24, updates: 2, modes: 4, fingerprinted: true
+}
+
+// Push is the incremental alternative to Fit, and Save/Load round-trip
+// the full streaming state for checkpoint/restart.
+func ExampleLoad() {
+	svd, err := parsvd.New(parsvd.WithModes(4))
+	if err != nil {
+		panic(err)
+	}
+	a := plantedSnapshots()
+	if err := svd.Push(a.SliceCols(0, 2)); err != nil {
+		panic(err)
+	}
+	var checkpoint bytes.Buffer
+	if err := svd.Save(&checkpoint); err != nil {
+		panic(err)
+	}
+
+	restored, err := parsvd.Load(&checkpoint)
+	if err != nil {
+		panic(err)
+	}
+	if err := restored.Push(a.SliceCols(2, 4)); err != nil {
+		panic(err)
+	}
+	res, err := restored.Result()
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range res.Singular {
+		fmt.Printf("%.1f ", s)
+	}
+	fmt.Println()
+	// Output:
+	// 5.0 3.0 2.0 1.0
+}

@@ -1,29 +1,27 @@
 // Example: distributed coherent-structure extraction for a nonlinear PDE.
 //
-// This is the paper's headline use case (§4.3) as a library consumer would
-// write it: snapshots of the viscous Burgers equation are distributed
-// across four ranks by domain decomposition, streamed through the parallel
-// randomized SVD in batches, and the resulting global modes are compared
-// with the exact truncated SVD of the full matrix. Run with:
+// This is the paper's headline use case (§4.3) as a library consumer
+// would write it: snapshots of the viscous Burgers equation are streamed
+// through the parallel randomized SVD (four in-process ranks behind one
+// facade handle), and the resulting global modes are compared with the
+// exact truncated SVD of the full matrix. Run with:
 //
 //	go run ./examples/burgers
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"os"
-	"sync"
 
-	"goparsvd/internal/apmos"
-	"goparsvd/internal/burgers"
-	"goparsvd/internal/core"
-	"goparsvd/internal/mat"
-	"goparsvd/internal/mpi"
-	"goparsvd/internal/postproc"
+	parsvd "goparsvd"
+	"goparsvd/datasets"
+	"goparsvd/postproc"
 )
 
 func main() {
-	cfg := burgers.Config{L: 1, Re: 1000, Nx: 4096, Nt: 240, TFinal: 2}
+	cfg := datasets.Burgers(4096, 240, 1000)
 	const (
 		ranks = 4
 		k     = 6
@@ -33,52 +31,43 @@ func main() {
 	fmt.Printf("Burgers snapshots: %d grid points x %d times, Re = %g\n", cfg.Nx, cfg.Nt, cfg.Re)
 	fmt.Printf("running %d ranks, K = %d, batch = %d\n\n", ranks, k, batch)
 
-	parts := cfg.Partition(ranks)
-	var (
-		mu    sync.Mutex
-		modes *mat.Dense
-		vals  []float64
+	svd, err := parsvd.New(
+		parsvd.WithModes(k),
+		parsvd.WithForgetFactor(1.0), // reproduce the one-shot SVD
+		parsvd.WithLowRank(),         // randomized SVDs inside (paper §3.3)
+		parsvd.WithInitRank(50),
+		parsvd.WithBackend(parsvd.Parallel),
+		parsvd.WithRanks(ranks),
 	)
-	mpi.MustRun(ranks, func(c *mpi.Comm) {
-		r0, r1 := parts[c.Rank()][0], parts[c.Rank()][1]
-		eng := core.NewParallel(c, core.Options{
-			K:            k,
-			ForgetFactor: 1.0, // reproduce the one-shot SVD
-			LowRank:      true,
-			R1:           50,
-		})
-		for off := 0; off < cfg.Nt; off += batch {
-			end := off + batch
-			if end > cfg.Nt {
-				end = cfg.Nt
-			}
-			block := cfg.Block(r0, r1, off, end)
-			if off == 0 {
-				eng.Initialize(block)
-			} else {
-				eng.IncorporateData(block)
-			}
-		}
-		gathered := eng.GatherModes()
-		if c.Rank() == 0 {
-			mu.Lock()
-			modes = gathered
-			vals = append([]float64(nil), eng.SingularValues()...)
-			mu.Unlock()
-		}
-	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svd.Close()
+
+	a := cfg.Snapshots()
+	res, err := svd.Fit(context.Background(), parsvd.FromMatrix(a, batch))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Reference: exact truncated SVD of the full matrix (affordable at
 	// this example's scale).
-	exactModes, exactVals := apmos.DecomposeSerial(cfg.Snapshots(), k)
+	exactModes, exactVals, _, err := parsvd.TruncatedSVD(a, k)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("%6s  %14s  %14s  %10s\n", "mode", "exact sigma", "streamed", "mode cosine")
-	errs := postproc.CompareModes(exactModes, modes)
+	errs := postproc.CompareModes(exactModes, res.Modes)
 	for i := 0; i < k; i++ {
-		fmt.Printf("%6d  %14.6e  %14.6e  %10.7f\n", i+1, exactVals[i], vals[i], errs[i].Cosine)
+		fmt.Printf("%6d  %14.6e  %14.6e  %10.7f\n", i+1, exactVals[i], res.Singular[i], errs[i].Cosine)
 	}
+
+	st := svd.Stats()
+	fmt.Printf("\ntraffic: %d messages, %.1f MB across %d ranks\n",
+		st.Messages, float64(st.Bytes)/1e6, st.Ranks)
 
 	fmt.Println()
 	postproc.ASCIIPlot(os.Stdout, "leading Burgers modes (streamed, distributed)",
-		72, 14, []string{"mode 1", "mode 2"}, modes.Col(0), modes.Col(1))
+		72, 14, []string{"mode 1", "mode 2"}, res.Modes.Col(0), res.Modes.Col(1))
 }

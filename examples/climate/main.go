@@ -1,36 +1,35 @@
-// Example: climate-style EOF analysis with parallel I/O.
+// Example: climate-style EOF analysis with file-backed snapshot I/O.
 //
 // The full Figure-2 pipeline at laptop scale: write a synthetic global
-// pressure data set into a self-describing GNC container, have four ranks
-// read disjoint latitude-band hyperslabs of the shared file, stream the
-// bands through the distributed SVD, and validate the extracted coherent
-// structures against the generator's planted patterns. Run with:
+// pressure data set into a self-describing GNC container, stream it back
+// out of the file through the distributed SVD (parsvd.FromNetCDF turns
+// the time×lat×lon variable into snapshot batches), and validate the
+// extracted coherent structures against the generator's planted
+// patterns. Run with:
 //
 //	go run ./examples/climate
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
-	"sync"
 
-	"goparsvd/internal/climate"
-	"goparsvd/internal/core"
-	"goparsvd/internal/grid"
-	"goparsvd/internal/mat"
-	"goparsvd/internal/mpi"
-	"goparsvd/internal/ncio"
+	parsvd "goparsvd"
+	"goparsvd/datasets"
+	"goparsvd/gnc"
+	"goparsvd/postproc"
 )
 
 func main() {
-	cfg := climate.Config{
+	cfg := datasets.ClimateConfig{
 		NLat: 19, NLon: 36,
 		Snapshots: 730, StepHours: 24, // two years, daily
 		Seed: 2013, NoiseAmp: 1.5,
 	}
-	gen := climate.New(cfg)
+	gen := datasets.NewClimate(cfg)
 	const (
 		ranks = 4
 		k     = 8
@@ -52,57 +51,39 @@ func main() {
 	fmt.Printf("wrote %s (%.1f MB): %d snapshots on a %dx%d grid\n",
 		path, float64(info.Size())/1e6, cfg.Snapshots, cfg.NLat, cfg.NLon)
 
-	// Analysis stage: ranks partition the latitude axis and read their own
-	// hyperslabs concurrently — no rank ever holds the full field.
-	latParts := grid.Partition(cfg.NLat, ranks)
-	var (
-		mu    sync.Mutex
-		modes *mat.Dense
+	// Analysis stage: the facade streams the file variable batch by batch
+	// through four parallel ranks.
+	svd, err := parsvd.New(
+		parsvd.WithModes(k),
+		parsvd.WithForgetFactor(0.95),
+		parsvd.WithLowRank(),
+		parsvd.WithBackend(parsvd.Parallel),
+		parsvd.WithRanks(ranks),
 	)
-	mpi.MustRun(ranks, func(c *mpi.Comm) {
-		f, err := ncio.Open(path)
-		if err != nil {
-			panic(err)
-		}
-		defer f.Close()
-		la0, la1 := latParts[c.Rank()].Start, latParts[c.Rank()].End
-		eng := core.NewParallel(c, core.Options{K: k, ForgetFactor: 0.95, LowRank: true})
-		for off := 0; off < cfg.Snapshots; off += batch {
-			end := off + batch
-			if end > cfg.Snapshots {
-				end = cfg.Snapshots
-			}
-			raw, err := f.ReadSlab("pressure",
-				[]int64{int64(off), int64(la0), 0},
-				[]int64{int64(end - off), int64(la1 - la0), int64(cfg.NLon)})
-			if err != nil {
-				panic(err)
-			}
-			block := timeMajorToGridMajor(raw, (la1-la0)*cfg.NLon, end-off)
-			if off == 0 {
-				eng.Initialize(block)
-			} else {
-				eng.IncorporateData(block)
-			}
-		}
-		gathered := eng.GatherModes()
-		if c.Rank() == 0 {
-			mu.Lock()
-			modes = gathered
-			mu.Unlock()
-		}
-	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svd.Close()
+
+	src, err := parsvd.FromNetCDF(path, "pressure", batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := svd.Fit(context.Background(), src)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("\nextracted coherent structures (validated against planted patterns):")
 	fmt.Printf("  mode 1 vs climatological mean : cosine %.5f\n",
-		grid.AbsCosine(modes.Col(0), gen.MeanField()))
+		postproc.AbsCosine(res.Modes.Col(0), gen.MeanField()))
 	fmt.Printf("  mode 2 vs annual-cycle pattern: cosine %.5f\n",
-		grid.AbsCosine(modes.Col(1), gen.AnnualField()))
+		postproc.AbsCosine(res.Modes.Col(1), gen.AnnualField()))
 }
 
-func writeGNC(path string, gen *climate.Generator) error {
+func writeGNC(path string, gen *datasets.ClimateGenerator) error {
 	cfg := gen.Config()
-	w, err := ncio.Create(path)
+	w, err := gnc.Create(path)
 	if err != nil {
 		return err
 	}
@@ -131,16 +112,4 @@ func writeGNC(path string, gen *climate.Generator) error {
 		}
 	}
 	return w.Close()
-}
-
-// timeMajorToGridMajor reshapes a [time][grid] slab into the engine's
-// (grid rows × time columns) layout.
-func timeMajorToGridMajor(raw []float64, rows, cols int) *mat.Dense {
-	out := mat.New(rows, cols)
-	for t := 0; t < cols; t++ {
-		for r := 0; r < rows; r++ {
-			out.Set(r, t, raw[t*rows+r])
-		}
-	}
-	return out
 }

@@ -3,23 +3,25 @@
 // The paper's §2 lists data compression as a core SVD application: an
 // M×N snapshot ensemble of rank ≈ r compresses to K modes plus K
 // coefficients per snapshot. This example streams Burgers snapshots
-// through the serial engine, compresses the whole ensemble at several
-// ranks K, and prints the storage ratio against the reconstruction error,
-// showing the Eckart–Young trade-off a user would tune. Run with:
+// through the serial facade, compresses the whole ensemble at several
+// ranks K via Coefficients/Reconstruct, and prints the storage ratio
+// against the reconstruction error, showing the Eckart–Young trade-off a
+// user would tune. Run with:
 //
 //	go run ./examples/compression
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"goparsvd/internal/burgers"
-	"goparsvd/internal/core"
-	"goparsvd/internal/mat"
+	parsvd "goparsvd"
+	"goparsvd/datasets"
 )
 
 func main() {
-	cfg := burgers.Config{L: 1, Re: 1000, Nx: 4096, Nt: 200, TFinal: 2}
+	cfg := datasets.Burgers(4096, 200, 1000)
 	a := cfg.Snapshots()
 	norm := a.FroNorm()
 	const batch = 50
@@ -29,25 +31,25 @@ func main() {
 	fmt.Printf("%4s  %12s  %16s  %14s\n", "K", "ratio", "rel.error", "stored MB")
 
 	for _, k := range []int{2, 4, 8, 16, 32} {
-		eng := core.NewSerial(core.Options{K: k, ForgetFactor: 1.0})
-		for off := 0; off < cfg.Nt; off += batch {
-			end := off + batch
-			if end > cfg.Nt {
-				end = cfg.Nt
-			}
-			b := a.SliceCols(off, end)
-			if off == 0 {
-				eng.Initialize(b)
-			} else {
-				eng.IncorporateData(b)
-			}
+		svd, err := parsvd.New(parsvd.WithModes(k), parsvd.WithForgetFactor(1.0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := svd.Fit(context.Background(), parsvd.FromMatrix(a, batch)); err != nil {
+			log.Fatal(err)
 		}
 
 		// Compress: keep modes + singular values + per-snapshot coefficients.
-		coeffs := eng.Coefficients(a)
-		recon := eng.Reconstruct(coeffs)
-		relErr := mat.Sub(a, recon).FroNorm() / norm
-		ratio := core.CompressionRatio(cfg.Nx, cfg.Nt, k)
+		coeffs, err := svd.Coefficients(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recon, err := svd.Reconstruct(coeffs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		relErr := parsvd.Sub(a, recon).FroNorm() / norm
+		ratio := parsvd.CompressionRatio(cfg.Nx, cfg.Nt, k)
 		storedMB := float64(8*(cfg.Nx*k+k+k*cfg.Nt)) / 1e6
 		fmt.Printf("%4d  %12.1fx  %16.3e  %14.2f\n", k, ratio, relErr, storedMB)
 	}

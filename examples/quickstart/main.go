@@ -1,21 +1,21 @@
 // Quickstart: the smallest useful goparsvd program.
 //
-// It streams batches of snapshots of a synthetic low-rank data set through
-// the serial streaming SVD and prints the recovered spectrum next to the
-// planted one. Run with:
+// It streams batches of a synthetic low-rank data set through the public
+// parsvd facade and prints the recovered spectrum next to the planted
+// one. The whole program imports exactly one library package: goparsvd.
+// Run with:
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"math"
 	"math/rand"
-	"os"
 
-	"goparsvd/internal/core"
-	"goparsvd/internal/mat"
-	"goparsvd/internal/postproc"
+	parsvd "goparsvd"
 )
 
 func main() {
@@ -30,36 +30,50 @@ func main() {
 	planted := []float64{50, 40, 30, 20, 10}
 	a := plantedMatrix(m, n, planted, rand.New(rand.NewSource(1)))
 
-	// Stream it through the serial engine: Initialize with the first
-	// batch, then IncorporateData for each subsequent one.
-	svd := core.NewSerial(core.Options{K: k, ForgetFactor: 1.0})
-	svd.Initialize(a.SliceCols(0, batch))
-	for off := batch; off < n; off += batch {
-		svd.IncorporateData(a.SliceCols(off, off+batch))
+	// One constructor, functional options, errors instead of panics.
+	svd, err := parsvd.New(
+		parsvd.WithModes(k),
+		parsvd.WithForgetFactor(1.0), // 1.0 reproduces the one-shot SVD
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	fmt.Printf("streamed %d snapshots in %d batches\n\n", svd.SnapshotsSeen(), svd.Iterations()+1)
+	// Fit drains a Source: here the in-memory matrix, 30 columns at a time.
+	res, err := svd.Fit(context.Background(), parsvd.FromMatrix(a, batch))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("streamed %d snapshots in %d batches\n\n", res.Snapshots, res.Iterations+1)
 	fmt.Printf("%6s  %12s  %12s\n", "mode", "planted", "recovered")
 	for i, want := range planted {
-		got := svd.SingularValues()[i]
+		got := res.Singular[i]
 		fmt.Printf("%6d  %12.4f  %12.4f   (|err| %.2e)\n", i+1, want, got, math.Abs(want-got))
 	}
 
 	fmt.Println()
-	postproc.SingularValueReport(os.Stdout, svd.SingularValues())
+	fmt.Printf("%6s  %14s  %10s\n", "mode", "sigma", "energy")
+	total := 0.0
+	for _, s := range res.Singular {
+		total += s * s
+	}
+	for i, s := range res.Singular {
+		fmt.Printf("%6d  %14.6e  %9.4f%%\n", i+1, s, 100*s*s/total)
+	}
 }
 
 // plantedMatrix returns U·diag(s)·Vᵀ with random orthonormal factors.
-func plantedMatrix(m, n int, s []float64, rng *rand.Rand) *mat.Dense {
+func plantedMatrix(m, n int, s []float64, rng *rand.Rand) *parsvd.Matrix {
 	u := orthonormal(m, len(s), rng)
 	v := orthonormal(n, len(s), rng)
-	return mat.MulTransB(mat.MulDiag(u, s), v)
+	return parsvd.MulTransB(parsvd.MulDiag(u, s), v)
 }
 
 // orthonormal draws a random n×k matrix with orthonormal columns via
 // Gram–Schmidt.
-func orthonormal(n, k int, rng *rand.Rand) *mat.Dense {
-	q := mat.New(n, k)
+func orthonormal(n, k int, rng *rand.Rand) *parsvd.Matrix {
+	q := parsvd.NewMatrix(n, k)
 	for j := 0; j < k; j++ {
 		col := make([]float64, n)
 		for i := range col {
@@ -67,9 +81,9 @@ func orthonormal(n, k int, rng *rand.Rand) *mat.Dense {
 		}
 		for p := 0; p < j; p++ {
 			prev := q.Col(p)
-			mat.Axpy(-mat.Dot(prev, col), prev, col)
+			parsvd.Axpy(-parsvd.Dot(prev, col), prev, col)
 		}
-		norm := mat.Nrm2(col)
+		norm := parsvd.Nrm2(col)
 		for i := range col {
 			col[i] /= norm
 		}

@@ -4,21 +4,20 @@
 // systems (Sarwar et al., its reference [18]): item-factor models must be
 // refreshed as new user interactions arrive, without refactorizing the
 // full history. This example maintains the top-K left singular vectors
-// ("item factors") of a growing item×user rating matrix with the streaming
-// SVD, adding one day of users at a time, and shows that recommendation
-// scores from the streamed factors track the batch SVD. Run with:
+// ("item factors") of a growing item×user rating matrix with parsvd.Push
+// — one day of users per batch — and shows that recommendation scores
+// from the streamed factors track the batch SVD. Run with:
 //
 //	go run ./examples/recommender
 package main
 
 import (
 	"fmt"
+	"log"
 	"math"
 	"math/rand"
 
-	"goparsvd/internal/core"
-	"goparsvd/internal/linalg"
-	"goparsvd/internal/mat"
+	parsvd "goparsvd"
 )
 
 const (
@@ -39,30 +38,42 @@ func main() {
 	fmt.Printf("simulating %d items, %d days x %d users/day, %d latent tastes\n\n",
 		nItems, nDays, usersPerDay, nLatent)
 
-	// Stream daily rating batches through the SVD. ForgetFactor 1.0 keeps
+	// Stream daily rating batches through Push. ForgetFactor 1.0 keeps
 	// the full history so the result is comparable with the batch SVD; a
 	// production system tracking drifting tastes would use < 1.
-	model := core.NewSerial(core.Options{K: retainedK, ForgetFactor: 1.0})
-	var history []*mat.Dense
+	model, err := parsvd.New(parsvd.WithModes(retainedK), parsvd.WithForgetFactor(1.0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var history []*parsvd.Matrix
 	for day := 0; day < nDays; day++ {
 		batch := ratingsBatch(itemFactors, usersPerDay, rng)
 		history = append(history, batch)
-		if day == 0 {
-			model.Initialize(batch)
-		} else {
-			model.IncorporateData(batch)
+		if err := model.Push(batch); err != nil {
+			log.Fatal(err)
+		}
+		res, err := model.Result()
+		if err != nil {
+			log.Fatal(err)
 		}
 		fmt.Printf("day %2d: %5d users ingested, top singular value %.2f\n",
-			day+1, model.SnapshotsSeen(), model.SingularValues()[0])
+			day+1, res.Snapshots, res.Singular[0])
+	}
+	res, err := model.Result()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// Reference: one-shot SVD of the full accumulated matrix. Item latent
 	// representations are the σ-weighted left factors U·diag(s), the
 	// standard embedding in SVD-based recommenders.
-	full := mat.HStack(history...)
-	batchU, batchS, _ := linalg.SVDTruncated(full, retainedK)
-	batchEmbed := mat.MulDiag(batchU, batchS)
-	streamEmbed := mat.MulDiag(model.Modes(), model.SingularValues())
+	full := parsvd.HStack(history...)
+	batchU, batchS, _, err := parsvd.TruncatedSVD(full, retainedK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batchEmbed := parsvd.MulDiag(batchU, batchS)
+	streamEmbed := parsvd.MulDiag(res.Modes, res.Singular)
 
 	// Recommendation sanity check: item-item similarity scores from the
 	// streamed factors must rank items like the batch factors do.
@@ -84,14 +95,14 @@ func main() {
 
 	// Subspace distance between the factor spaces.
 	fmt.Printf("factor-subspace alignment (1 = identical): %.4f\n",
-		subspaceAlignment(batchU, model.Modes()))
+		subspaceAlignment(batchU, res.Modes))
 }
 
 // ratingsBatch synthesizes one day of users: each user has a random taste
 // vector; their rating for an item is the taste·item affinity plus noise.
-func ratingsBatch(items *mat.Dense, users int, rng *rand.Rand) *mat.Dense {
+func ratingsBatch(items *parsvd.Matrix, users int, rng *rand.Rand) *parsvd.Matrix {
 	tastes := randomMatrix(users, nLatent, rng)
-	ratings := mat.MulTransB(items, tastes) // items × users
+	ratings := parsvd.MulTransB(items, tastes) // items × users
 	data := ratings.RawData()
 	for i := range data {
 		data[i] += ratingNoise * rng.NormFloat64()
@@ -101,7 +112,7 @@ func ratingsBatch(items *mat.Dense, users int, rng *rand.Rand) *mat.Dense {
 
 // mostSimilar returns the index of the item most similar to the query item
 // in the factor space (cosine similarity over factor rows).
-func mostSimilar(factors *mat.Dense, item int) int {
+func mostSimilar(factors *parsvd.Matrix, item int) int {
 	q := factors.Row(item)
 	best, bestScore := -1, math.Inf(-1)
 	for i := 0; i < factors.Rows(); i++ {
@@ -109,7 +120,7 @@ func mostSimilar(factors *mat.Dense, item int) int {
 			continue
 		}
 		r := factors.Row(i)
-		score := mat.Dot(q, r) / (mat.Nrm2(q)*mat.Nrm2(r) + 1e-300)
+		score := parsvd.Dot(q, r) / (parsvd.Nrm2(q)*parsvd.Nrm2(r) + 1e-300)
 		if score > bestScore {
 			best, bestScore = i, score
 		}
@@ -119,15 +130,15 @@ func mostSimilar(factors *mat.Dense, item int) int {
 
 // subspaceAlignment returns a [0,1] score comparing the column spaces of
 // two factor matrices: 1 − ‖P_a − P_b‖_F / sqrt(2k).
-func subspaceAlignment(a, b *mat.Dense) float64 {
+func subspaceAlignment(a, b *parsvd.Matrix) float64 {
 	_, k := a.Dims()
-	pa := mat.MulTransB(a, a)
-	pb := mat.MulTransB(b, b)
-	return 1 - mat.Sub(pa, pb).FroNorm()/math.Sqrt(2*float64(k))
+	pa := parsvd.MulTransB(a, a)
+	pb := parsvd.MulTransB(b, b)
+	return 1 - parsvd.Sub(pa, pb).FroNorm()/math.Sqrt(2*float64(k))
 }
 
-func randomMatrix(r, c int, rng *rand.Rand) *mat.Dense {
-	m := mat.New(r, c)
+func randomMatrix(r, c int, rng *rand.Rand) *parsvd.Matrix {
+	m := parsvd.NewMatrix(r, c)
 	data := m.RawData()
 	for i := range data {
 		data[i] = rng.NormFloat64()

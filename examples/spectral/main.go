@@ -16,19 +16,19 @@ import (
 	"fmt"
 	"math"
 
-	"goparsvd/internal/climate"
-	"goparsvd/internal/spod"
+	"goparsvd/datasets"
+	"goparsvd/spod"
 )
 
 func main() {
 	// Two years of 6-hourly snapshots on a coarse grid.
-	cfg := climate.Config{
+	cfg := datasets.ClimateConfig{
 		NLat: 19, NLon: 36,
 		Snapshots: 2920, StepHours: 6,
 		Seed: 7, NoiseAmp: 0.8,
 		SubtractClimatology: true, // spectral analysis works on anomalies
 	}
-	gen := climate.New(cfg)
+	gen := datasets.NewClimate(cfg)
 
 	// Restrict to the northern storm track (45N ± one grid row), where the
 	// travelling wave lives.

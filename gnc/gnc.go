@@ -1,0 +1,40 @@
+// Package gnc reads and writes goparsvd's self-describing array
+// container (GNC): the NetCDF-style format behind the paper's parallel
+// I/O experiments — named dimensions, typed variables with attributes,
+// and strided hyperslab access so concurrent readers each pull their own
+// sub-block of a shared file. parsvd.FromNetCDF streams snapshot
+// matrices straight out of these files.
+package gnc
+
+import "goparsvd/internal/ncio"
+
+// DType is a variable's on-disk element type.
+type DType = ncio.DType
+
+// Element types for DefineVarTyped.
+const (
+	Float64 = ncio.Float64
+	Float32 = ncio.Float32
+)
+
+// Dim is a named axis with a fixed size.
+type Dim = ncio.Dim
+
+// Var describes one variable: name, element type, dimensions,
+// attributes.
+type Var = ncio.Var
+
+// Writer builds a container file: define dimensions and variables, call
+// EndDef, then write values. WriteSlab is safe for concurrent use on
+// disjoint slabs.
+type Writer = ncio.Writer
+
+// File is a read handle; ReadSlab serves arbitrary hyperslabs and is
+// safe for concurrent use.
+type File = ncio.File
+
+// Create starts a new container file at path.
+func Create(path string) (*Writer, error) { return ncio.Create(path) }
+
+// Open opens an existing container file for reading.
+func Open(path string) (*File, error) { return ncio.Open(path) }

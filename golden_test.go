@@ -1,0 +1,136 @@
+package parsvd_test
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	parsvd "goparsvd"
+
+	"goparsvd/internal/core"
+	"goparsvd/internal/mat"
+	"goparsvd/internal/rla"
+	"goparsvd/internal/testutil"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"regenerate testdata golden files from the current internal/core checkpoint writer")
+
+// goldenState is the deterministic engine state behind the committed
+// checkpoint fixture. Both the generator (-update-golden) and the
+// verifier derive it from the same formulas, so the committed bytes pin
+// the on-disk format, not the values.
+func goldenState() (core.Options, *mat.Dense, []float64, int, int) {
+	opts := core.Options{
+		K:            3,
+		ForgetFactor: 0.95,
+		LowRank:      true,
+		RLA:          rla.Options{Oversample: 5, PowerIters: 2, Seed: 42},
+		R1:           50,
+	}
+	modes := mat.New(6, 3)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 3; j++ {
+			modes.Set(i, j, math.Sin(float64(i+1))*float64(j+1)/10)
+		}
+	}
+	singular := []float64{3.5, 2.25, 1.125}
+	return opts, modes, singular, 4, 9
+}
+
+// TestGoldenCheckpointBackwardCompat proves parsvd.Load reads checkpoint
+// files written by the internal/core writer, byte-for-byte as committed:
+// a facade release must keep loading engine-written checkpoints from
+// before the facade existed.
+func TestGoldenCheckpointBackwardCompat(t *testing.T) {
+	path := filepath.Join("testdata", "checkpoint_v1_serial.golden")
+	opts, modes, singular, iters, snaps := goldenState()
+
+	if *updateGolden {
+		eng, err := core.RestoreSerial(opts, modes.Clone(), singular, iters, snaps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := eng.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, buf.Len())
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with -update-golden): %v", err)
+	}
+
+	// The fixture must be bit-identical to what the current writer emits:
+	// any format change (intended or not) trips this first.
+	eng, err := core.RestoreSerial(opts, modes.Clone(), singular, iters, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now bytes.Buffer
+	if err := eng.Save(&now); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, now.Bytes()) {
+		t.Fatal("internal/core checkpoint writer output changed; if intentional, bump the format version and regenerate with -update-golden")
+	}
+
+	// And the public facade must load it losslessly.
+	svd, err := parsvd.Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svd.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testutil.CloseSlices(res.Singular, singular, 0) {
+		t.Fatalf("spectrum: got %v want %v", res.Singular, singular)
+	}
+	if !mat.EqualApprox(res.Modes, modes, 0) {
+		t.Fatal("modes differ from golden state")
+	}
+	if res.Iterations != iters || res.Snapshots != snaps {
+		t.Fatalf("counters: %d/%d want %d/%d", res.Iterations, res.Snapshots, iters, snaps)
+	}
+}
+
+// TestLoadRejectsCorruptedCheckpoints: damage that passes the header
+// checks still fails loudly at load time (the stream.Restore validation),
+// not deep inside the next update.
+func TestLoadRejectsCorruptedCheckpoints(t *testing.T) {
+	if _, err := parsvd.Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("garbage loaded")
+	}
+	path := filepath.Join("testdata", "checkpoint_v1_serial.golden")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Skip("golden fixture missing")
+	}
+	for cut := 1; cut < len(raw); cut += 37 {
+		if _, err := parsvd.Load(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes loaded", cut)
+		}
+	}
+	// Flip K below the stored mode count: the restore-time invariant
+	// K >= len(singular) must reject it.
+	bad := append([]byte(nil), raw...)
+	bad[5] = 1 // K int64 little-endian lives at bytes 5..13
+	for i := 6; i < 13; i++ {
+		bad[i] = 0
+	}
+	if _, err := parsvd.Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("checkpoint with K < len(singular) loaded")
+	}
+}

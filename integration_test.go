@@ -1,4 +1,4 @@
-package goparsvd_test
+package parsvd_test
 
 import (
 	"math"

@@ -75,7 +75,7 @@ func (o Options) withDefaults(n int) Options {
 	if o.K > o.R2 {
 		o.K = o.R2
 	}
-	if o.RLA == (rla.Options{}) {
+	if o.RLA.IsZero() {
 		o.RLA = rla.DefaultOptions()
 	}
 	return o

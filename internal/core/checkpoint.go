@@ -46,14 +46,34 @@ func LoadSerial(r io.Reader) (*Serial, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := NewSerial(opts)
-	eng.svd = stream.Restore(stream.Options{
+	eng, err := RestoreSerial(opts, modes, singular, iters, snaps)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	return eng, nil
+}
+
+// RestoreSerial rebuilds a serial engine from externally-held state: the
+// current modes (adopted without copying), singular values and counters.
+// It validates the options and every structural invariant, returning an
+// error instead of panicking, so facades can surface corrupted state to
+// their callers. The parsvd facade also uses it to re-wrap the gathered
+// global state of a parallel run as a serial engine for checkpointing.
+func RestoreSerial(opts Options, modes *mat.Dense, singular []float64,
+	iterations, snapshots int) (*Serial, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	svd, err := stream.Restore(stream.Options{
 		K:       opts.K,
 		FF:      opts.ForgetFactor,
 		LowRank: opts.LowRank,
 		RLA:     opts.RLA,
-	}, modes, singular, iters, snaps)
-	return eng, nil
+	}, modes, singular, iterations, snapshots)
+	if err != nil {
+		return nil, err
+	}
+	return &Serial{opts: opts.validated(), svd: svd}, nil
 }
 
 // Save serializes this rank's slice of the parallel engine's state. Every
@@ -72,6 +92,17 @@ func LoadParallel(c *mpi.Comm, r io.Reader) (*Parallel, error) {
 	opts, modes, singular, iters, snaps, err := readCheckpoint(r)
 	if err != nil {
 		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	if opts.K < len(singular) {
+		return nil, fmt.Errorf("%w: %d singular values exceed K = %d",
+			ErrBadCheckpoint, len(singular), opts.K)
+	}
+	if modes.Rows() < 1 || modes.Cols() < 1 {
+		return nil, fmt.Errorf("%w: empty %dx%d modes", ErrBadCheckpoint,
+			modes.Rows(), modes.Cols())
 	}
 	eng := NewParallel(c, opts)
 	eng.ulocal = modes

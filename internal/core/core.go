@@ -65,14 +65,27 @@ type Options struct {
 	Method apmos.Method
 }
 
-func (o Options) validated() Options {
+// Validate reports whether the options describe a usable configuration.
+// It is the error-returning twin of validated, for callers (the public
+// parsvd facade) that must not panic.
+func (o Options) Validate() error {
 	if o.K < 1 {
-		panic(fmt.Sprintf("core: K = %d < 1", o.K))
+		return fmt.Errorf("core: K = %d < 1", o.K)
 	}
 	if o.ForgetFactor <= 0 || o.ForgetFactor > 1 {
-		panic(fmt.Sprintf("core: forget factor %g outside (0, 1]", o.ForgetFactor))
+		return fmt.Errorf("core: forget factor %g outside (0, 1]", o.ForgetFactor)
 	}
-	if o.RLA == (rla.Options{}) {
+	if o.R1 < 0 {
+		return fmt.Errorf("core: R1 = %d < 0", o.R1)
+	}
+	return o.RLA.Validate()
+}
+
+func (o Options) validated() Options {
+	if err := o.Validate(); err != nil {
+		panic(err)
+	}
+	if o.RLA.IsZero() {
 		o.RLA = rla.DefaultOptions()
 	}
 	return o
@@ -99,6 +112,9 @@ func NewSerial(opts Options) *Serial {
 		}),
 	}
 }
+
+// Options returns the validated options the engine was built with.
+func (s *Serial) Options() Options { return s.opts }
 
 // Initialize seeds the decomposition with the first batch (Listing 1).
 func (s *Serial) Initialize(a *mat.Dense) Decomposer {

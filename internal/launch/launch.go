@@ -17,6 +17,7 @@ package launch
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -116,6 +117,14 @@ func (r *Result) MPIStats() mpi.Stats {
 // returns their reports. Any worker failure (nonzero exit, malformed
 // protocol, timeout) kills the remaining workers and returns an error.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled, every
+// spawned worker process is killed immediately (their scan loops observe
+// EOF and the wait loop unwinds), and ctx.Err() is returned. The
+// cfg.Timeout deadline still applies independently.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Ranks < 1 {
 		return nil, fmt.Errorf("launch: ranks = %d < 1", cfg.Ranks)
 	}
@@ -138,14 +147,40 @@ func Run(cfg Config) (*Result, error) {
 
 	start := time.Now()
 	deadline := time.Now().Add(cfg.Timeout)
-	procs := make([]*worker, cfg.Ranks)
-	defer func() {
+	var (
+		mu    sync.Mutex
+		procs = make([]*worker, cfg.Ranks)
+	)
+	killAll := func() {
+		mu.Lock()
+		defer mu.Unlock()
 		for _, w := range procs {
 			if w != nil {
 				w.kill()
 			}
 		}
+	}
+	defer killAll()
+	// The watchdog turns a context cancellation into an immediate fleet
+	// kill; the per-worker awaits below then return promptly.
+	watchdogDone := make(chan struct{})
+	defer close(watchdogDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			killAll()
+		case <-watchdogDone:
+		}
 	}()
+	setProc := func(r int, w *worker) {
+		mu.Lock()
+		procs[r] = w
+		// A kill that raced the spawn must still reap the new process.
+		if ctx.Err() != nil {
+			w.kill()
+		}
+		mu.Unlock()
+	}
 
 	// Rank 0 binds an ephemeral rendezvous port and publishes it on
 	// stdout; only then can the other ranks be pointed at it.
@@ -153,13 +188,16 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	procs[0] = w0
+	setProc(0, w0)
 	// A single-rank world has no peers to rendezvous with; the worker
 	// skips the address line entirely.
 	var rendezvous string
 	if cfg.Ranks > 1 {
 		rendezvous, err = w0.awaitRendezvous(deadline)
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
 			return nil, fmt.Errorf("launch: rank 0 never published a rendezvous address: %w", err)
 		}
 	}
@@ -168,7 +206,7 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("launch: spawning rank %d: %w", r, err)
 		}
-		procs[r] = w
+		setProc(r, w)
 	}
 
 	res := &Result{PerRank: make([]RankResult, cfg.Ranks)}
@@ -186,6 +224,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	if firstErr != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, firstErr
 	}
 	res.Elapsed = time.Since(start)

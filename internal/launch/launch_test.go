@@ -1,6 +1,8 @@
 package launch
 
 import (
+	"context"
+	"errors"
 	"math"
 	"os/exec"
 	"testing"
@@ -99,6 +101,29 @@ func TestTCPFourRankSmoke(t *testing.T) {
 	}
 	t.Logf("4-rank TCP run: %.0f ms wall, %d msgs, %d bytes sent, root incast %d bytes",
 		res.Elapsed.Seconds()*1000, agg.Messages, agg.Bytes, agg.RecvBytes[0])
+}
+
+// TestRunContextCancellationKillsFleet: a canceled context must reap the
+// worker processes promptly instead of letting them run until the
+// launcher timeout.
+func TestRunContextCancellationKillsFleet(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("no go toolchain to build parsvd-worker")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := RunContext(ctx, Config{
+		Ranks:    2,
+		Workload: smokeWorkload(),
+		Timeout:  time.Minute,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("cancellation took %v; fleet was not reaped promptly", elapsed)
+	}
 }
 
 // TestWorkerFailurePropagates kills the job by configuring an impossible

@@ -34,6 +34,27 @@ func DefaultOptions() Options {
 	return Options{Oversample: 10, PowerIters: 1, Seed: 1}
 }
 
+// IsZero reports whether o is the zero value, i.e. the caller never set any
+// field. Consumers use it to substitute DefaultOptions; it is the explicit
+// replacement for the fragile `o == (Options{})` struct comparison, which
+// breaks as soon as Options grows a non-comparable field and cannot be told
+// apart from a deliberately all-zero configuration at the call site.
+func (o Options) IsZero() bool {
+	return o.Oversample == 0 && o.PowerIters == 0 && o.Seed == 0
+}
+
+// Validate reports whether the options describe a usable configuration.
+// The zero value is valid (it means "use DefaultOptions").
+func (o Options) Validate() error {
+	if o.Oversample < 0 {
+		return fmt.Errorf("rla: Oversample = %d < 0", o.Oversample)
+	}
+	if o.PowerIters < 0 {
+		return fmt.Errorf("rla: PowerIters = %d < 0", o.PowerIters)
+	}
+	return nil
+}
+
 func (o Options) withDefaults() Options {
 	if o.Oversample <= 0 {
 		o.Oversample = 10

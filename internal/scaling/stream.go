@@ -75,8 +75,10 @@ func (w StreamWorkload) Validate() error {
 	return nil
 }
 
-// burgersConfig is the shared snapshot generator for the given world size.
-func (w StreamWorkload) burgersConfig(ranks int) burgers.Config {
+// BurgersConfig is the shared snapshot generator for the given world size:
+// any consumer that replays it (the parsvd facade's workload Source, the
+// serial reference, the TCP workers) sees bit-identical inputs.
+func (w StreamWorkload) BurgersConfig(ranks int) burgers.Config {
 	return burgers.Config{L: 1, Re: 1000, Nx: w.RowsPerRank * ranks, Nt: w.Snapshots, TFinal: 2}
 }
 
@@ -110,7 +112,7 @@ func RunStream(c *mpi.Comm, w StreamWorkload) StreamResult {
 	if err := w.Validate(); err != nil {
 		panic(err)
 	}
-	bc := w.burgersConfig(c.Size())
+	bc := w.BurgersConfig(c.Size())
 	parts := bc.Partition(c.Size())
 	r0, r1 := parts[c.Rank()][0], parts[c.Rank()][1]
 
@@ -138,7 +140,7 @@ func RunStreamSerial(ranks int, w StreamWorkload) StreamResult {
 	if err := w.Validate(); err != nil {
 		panic(err)
 	}
-	bc := w.burgersConfig(ranks)
+	bc := w.BurgersConfig(ranks)
 	eng := core.NewSerial(w.coreOptions())
 	eng.Initialize(bc.Block(0, bc.Nx, 0, w.InitBatch))
 	for col := w.InitBatch; col < w.Snapshots; col += w.Batch {

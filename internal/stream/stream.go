@@ -30,14 +30,24 @@ type Options struct {
 	RLA rla.Options
 }
 
-func (o Options) validated() Options {
+// Validate reports whether the options describe a usable configuration.
+// It is the error-returning twin of validated, for callers (the public
+// parsvd facade) that must not panic.
+func (o Options) Validate() error {
 	if o.K < 1 {
-		panic(fmt.Sprintf("stream: K = %d < 1", o.K))
+		return fmt.Errorf("stream: K = %d < 1", o.K)
 	}
 	if o.FF <= 0 || o.FF > 1 {
-		panic(fmt.Sprintf("stream: forget factor %g outside (0, 1]", o.FF))
+		return fmt.Errorf("stream: forget factor %g outside (0, 1]", o.FF)
 	}
-	if o.RLA == (rla.Options{}) {
+	return o.RLA.Validate()
+}
+
+func (o Options) validated() Options {
+	if err := o.Validate(); err != nil {
+		panic(err)
+	}
+	if o.RLA.IsZero() {
 		o.RLA = rla.DefaultOptions()
 	}
 	return o
@@ -67,13 +77,34 @@ func New(opts Options) *SVD {
 // Restore rebuilds a streaming SVD from previously captured state (the
 // checkpoint/restart path): the current modes, singular values and
 // counters. The modes matrix is adopted without copying.
-func Restore(opts Options, modes *mat.Dense, singular []float64, iterations, snapshots int) *SVD {
-	if modes == nil || modes.Cols() != len(singular) {
-		panic("stream: Restore state inconsistent: modes/singular size mismatch")
+//
+// Every structural invariant the streaming update relies on is checked
+// here, so a corrupted checkpoint fails loudly at load time rather than
+// deep inside the next IncorporateData call.
+func Restore(opts Options, modes *mat.Dense, singular []float64, iterations, snapshots int) (*SVD, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: Restore: %w", err)
+	}
+	if modes == nil {
+		return nil, fmt.Errorf("stream: Restore state inconsistent: nil modes")
+	}
+	if modes.Rows() < 1 || modes.Cols() < 1 {
+		return nil, fmt.Errorf("stream: Restore state inconsistent: empty %dx%d modes",
+			modes.Rows(), modes.Cols())
+	}
+	if modes.Cols() != len(singular) {
+		return nil, fmt.Errorf("stream: Restore state inconsistent: %d mode columns, %d singular values",
+			modes.Cols(), len(singular))
+	}
+	// The engine never retains more than K modes, so a state claiming
+	// len(singular) > K cannot have been produced by these options.
+	if opts.K < len(singular) {
+		return nil, fmt.Errorf("stream: Restore state inconsistent: %d singular values exceed K = %d",
+			len(singular), opts.K)
 	}
 	if iterations < 0 || snapshots < modes.Cols() {
-		panic(fmt.Sprintf("stream: Restore counters invalid: iterations=%d snapshots=%d",
-			iterations, snapshots))
+		return nil, fmt.Errorf("stream: Restore counters invalid: iterations=%d snapshots=%d (modes %dx%d)",
+			iterations, snapshots, modes.Rows(), modes.Cols())
 	}
 	return &SVD{
 		opts:        opts.validated(),
@@ -83,7 +114,7 @@ func Restore(opts Options, modes *mat.Dense, singular []float64, iterations, sna
 		iterations:  iterations,
 		snapshots:   snapshots,
 		initialized: true,
-	}
+	}, nil
 }
 
 // Initialized reports whether Initialize has been called.

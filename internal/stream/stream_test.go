@@ -259,10 +259,13 @@ func TestRestoreRoundTrip(t *testing.T) {
 	orig := New(Options{K: 3, FF: 0.9}).Initialize(testutil.RandomDense(15, 5, rng))
 	orig.IncorporateData(testutil.RandomDense(15, 4, rng))
 
-	restored := Restore(Options{K: 3, FF: 0.9},
+	restored, err := Restore(Options{K: 3, FF: 0.9},
 		orig.Modes().Clone(),
 		orig.SingularValues(),
 		orig.Iterations(), orig.SnapshotsSeen())
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if !restored.Initialized() {
 		t.Fatal("restored state not initialized")
@@ -281,19 +284,33 @@ func TestRestoreRoundTrip(t *testing.T) {
 
 func TestRestoreValidation(t *testing.T) {
 	m := mat.New(5, 2)
-	for name, fn := range map[string]func(){
-		"nil modes":      func() { Restore(Options{K: 2, FF: 1}, nil, nil, 0, 0) },
-		"size mismatch":  func() { Restore(Options{K: 2, FF: 1}, m, []float64{1}, 0, 2) },
-		"bad iterations": func() { Restore(Options{K: 2, FF: 1}, m, []float64{1, 2}, -1, 2) },
-		"bad snapshots":  func() { Restore(Options{K: 2, FF: 1}, m, []float64{1, 2}, 0, 1) },
+	for name, fn := range map[string]func() (*SVD, error){
+		"nil modes": func() (*SVD, error) {
+			return Restore(Options{K: 2, FF: 1}, nil, nil, 0, 0)
+		},
+		"empty modes": func() (*SVD, error) {
+			return Restore(Options{K: 2, FF: 1}, mat.New(0, 0), nil, 0, 0)
+		},
+		"size mismatch": func() (*SVD, error) {
+			return Restore(Options{K: 2, FF: 1}, m, []float64{1}, 0, 2)
+		},
+		"K below singular count": func() (*SVD, error) {
+			return Restore(Options{K: 1, FF: 1}, m, []float64{2, 1}, 0, 2)
+		},
+		"bad options": func() (*SVD, error) {
+			return Restore(Options{K: 2, FF: 1.5}, m, []float64{2, 1}, 0, 2)
+		},
+		"bad iterations": func() (*SVD, error) {
+			return Restore(Options{K: 2, FF: 1}, m, []float64{1, 2}, -1, 2)
+		},
+		"bad snapshots": func() (*SVD, error) {
+			return Restore(Options{K: 2, FF: 1}, m, []float64{1, 2}, 0, 1)
+		},
 	} {
 		t.Run(name, func(t *testing.T) {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("%s did not panic", name)
-				}
-			}()
-			fn()
+			if _, err := fn(); err == nil {
+				t.Fatalf("%s did not error", name)
+			}
 		})
 	}
 }

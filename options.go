@@ -1,0 +1,271 @@
+package parsvd
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"goparsvd/internal/apmos"
+	"goparsvd/internal/core"
+	"goparsvd/internal/rla"
+)
+
+// Backend selects the execution mode of a decomposition.
+type Backend int
+
+const (
+	// Serial is ParSVD_Serial: a single-process streaming truncated SVD.
+	Serial Backend = iota
+	// Parallel is ParSVD_Parallel over in-process ranks: every rank is a
+	// goroutine owning a row block of the snapshot matrix, cooperating
+	// through channel-backed MPI-style collectives.
+	Parallel
+	// Distributed runs the same parallel algorithm with one OS process
+	// per rank over loopback TCP (cmd/parsvd-worker), supervised by this
+	// process. It is driven by Fit with a FromWorkload source.
+	Distributed
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case Serial:
+		return "serial"
+	case Parallel:
+		return "parallel"
+	case Distributed:
+		return "distributed"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// RLA tunes the randomized SVD enabled by WithLowRank: Oversample is the
+// sketch surplus p beyond the target rank, PowerIters the subspace
+// iteration count q, and Seed fixes the Gaussian sketch for reproducible
+// runs (paper §3.3; Halko, Martinsson & Tropp).
+type RLA = rla.Options
+
+// TransportConfig tunes the Distributed backend's process fabric.
+type TransportConfig struct {
+	// WorkerBin is the parsvd-worker binary; empty resolves via the
+	// PARSVD_WORKER environment variable, a sibling of the running
+	// executable, PATH, and finally `go build` inside a module checkout.
+	WorkerBin string
+	// Timeout bounds the whole multi-process run, rendezvous included.
+	// Zero means 5 minutes. A Fit context with an earlier deadline
+	// tightens it further.
+	Timeout time.Duration
+	// IdleTimeout is the workers' failure-detection window. Zero keeps
+	// the worker default.
+	IdleTimeout time.Duration
+	// Stderr receives the worker processes' stderr streams; nil means
+	// this process's stderr.
+	Stderr io.Writer
+}
+
+// Option configures New. Options are applied in order; the last setting
+// of a knob wins.
+type Option func(*config) error
+
+type config struct {
+	k        int
+	kSet     bool
+	ff       float64
+	ffSet    bool
+	lowRank  bool
+	rlaOpts  rla.Options
+	backend  Backend
+	ranks    int
+	ranksSet bool
+	r1       int
+	method   apmos.Method
+
+	transport    TransportConfig
+	transportSet bool
+	checkpoint   io.Writer
+}
+
+func defaultConfig() config {
+	return config{k: 10, ff: 1.0, backend: Serial, ranks: 1}
+}
+
+// WithModes sets K, the number of retained modes (truncated left singular
+// vectors). The default is 10.
+func WithModes(k int) Option {
+	return func(c *config) error {
+		if k < 1 {
+			return fmt.Errorf("parsvd: WithModes(%d): K must be >= 1", k)
+		}
+		c.k = k
+		c.kSet = true
+		return nil
+	}
+}
+
+// WithForgetFactor sets Algorithm 1's ff ∈ (0, 1]: the weight applied to
+// the running factorization before each update. The default 1.0
+// reproduces the one-shot SVD; the paper's experiments use 0.95.
+func WithForgetFactor(ff float64) Option {
+	return func(c *config) error {
+		if !(ff > 0 && ff <= 1) { // the negated form also rejects NaN
+			return fmt.Errorf("parsvd: WithForgetFactor(%g): forget factor must be in (0, 1]", ff)
+		}
+		c.ff = ff
+		c.ffSet = true
+		return nil
+	}
+}
+
+// WithLowRank replaces every dense SVD in the pipeline with the
+// randomized variant (paper §3.3). An optional RLA argument tunes the
+// sketch; omitting it uses oversampling 10, one power iteration and a
+// fixed seed. Passing more than one RLA is an error.
+func WithLowRank(opts ...RLA) Option {
+	return func(c *config) error {
+		if len(opts) > 1 {
+			return fmt.Errorf("parsvd: WithLowRank takes at most one RLA, got %d", len(opts))
+		}
+		c.lowRank = true
+		if len(opts) == 1 {
+			if err := opts[0].Validate(); err != nil {
+				return fmt.Errorf("parsvd: WithLowRank: %w", err)
+			}
+			c.rlaOpts = opts[0]
+		}
+		return nil
+	}
+}
+
+// WithBackend selects the execution mode. The default is Serial.
+func WithBackend(b Backend) Option {
+	return func(c *config) error {
+		if b != Serial && b != Parallel && b != Distributed {
+			return fmt.Errorf("parsvd: WithBackend(%d): unknown backend", int(b))
+		}
+		c.backend = b
+		return nil
+	}
+}
+
+// WithRanks sets the world size for the Parallel and Distributed
+// backends (default 4, the paper's configuration). The Serial backend
+// only accepts 1.
+func WithRanks(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("parsvd: WithRanks(%d): need at least one rank", n)
+		}
+		c.ranks = n
+		c.ranksSet = true
+		return nil
+	}
+}
+
+// WithInitRank sets r1, the APMOS gather truncation used by the parallel
+// initialization (paper default 50): each rank contributes its leading r1
+// right singular vectors to the gathered matrix. Zero means the default.
+func WithInitRank(r1 int) Option {
+	return func(c *config) error {
+		if r1 < 0 {
+			return fmt.Errorf("parsvd: WithInitRank(%d): r1 must be >= 0", r1)
+		}
+		c.r1 = r1
+		return nil
+	}
+}
+
+// WithTransport tunes the Distributed backend's worker fleet. Setting it
+// on any other backend is an error.
+func WithTransport(t TransportConfig) Option {
+	return func(c *config) error {
+		if t.Timeout < 0 || t.IdleTimeout < 0 {
+			return fmt.Errorf("parsvd: WithTransport: negative timeout")
+		}
+		c.transport = t
+		c.transportSet = true
+		return nil
+	}
+}
+
+// WithCheckpoint arranges for Fit to serialize the final streaming state
+// to w (the same format as Save) after its source drains. The
+// Distributed backend cannot checkpoint.
+func WithCheckpoint(w io.Writer) Option {
+	return func(c *config) error {
+		if w == nil {
+			return fmt.Errorf("parsvd: WithCheckpoint(nil)")
+		}
+		c.checkpoint = w
+		return nil
+	}
+}
+
+// validate cross-checks the assembled configuration once all options have
+// been applied.
+func (c *config) validate() error {
+	switch c.backend {
+	case Serial:
+		if c.ranksSet && c.ranks != 1 {
+			return fmt.Errorf("parsvd: the serial backend runs on exactly one rank, got WithRanks(%d); use WithBackend(Parallel)", c.ranks)
+		}
+		c.ranks = 1
+	case Parallel, Distributed:
+		if !c.ranksSet {
+			c.ranks = 4
+		}
+	}
+	if c.transportSet && c.backend != Distributed {
+		return fmt.Errorf("parsvd: WithTransport only applies to the Distributed backend, not %v", c.backend)
+	}
+	if c.checkpoint != nil && c.backend == Distributed {
+		return fmt.Errorf("parsvd: WithCheckpoint is not supported by the Distributed backend; its state lives in worker processes")
+	}
+	// The engine layers re-validate, but through the error-returning
+	// path: nothing a misconfigured New can reach panics.
+	if err := c.coreOptions().Validate(); err != nil {
+		return fmt.Errorf("parsvd: %w", err)
+	}
+	return nil
+}
+
+// checkWorkload cross-checks the facade options against a Workload
+// destined for the Distributed backend. Workers derive K, ff, r1 and the
+// randomization settings from the Workload itself, so any explicitly-set
+// facade option that contradicts it would be silently discarded — make
+// that an error instead. Options left at their defaults simply adopt the
+// workload's values.
+func (c *config) checkWorkload(w Workload) error {
+	if c.kSet && c.k != w.K {
+		return fmt.Errorf("parsvd: WithModes(%d) contradicts the workload's K = %d; the distributed workers run the workload's settings", c.k, w.K)
+	}
+	if c.ffSet && c.ff != w.FF {
+		return fmt.Errorf("parsvd: WithForgetFactor(%g) contradicts the workload's FF = %g", c.ff, w.FF)
+	}
+	if c.lowRank && !w.LowRank {
+		return fmt.Errorf("parsvd: WithLowRank was set but the workload runs the dense pipeline; set Workload.LowRank")
+	}
+	if c.r1 != 0 && c.r1 != w.R1 {
+		return fmt.Errorf("parsvd: WithInitRank(%d) contradicts the workload's R1 = %d", c.r1, w.R1)
+	}
+	if w.LowRank && !c.rlaOpts.IsZero() {
+		want := rla.Options{Oversample: 10, PowerIters: 1, Seed: w.Seed}
+		if c.rlaOpts != want {
+			return fmt.Errorf("parsvd: WithLowRank sketch settings %+v contradict the workload's %+v (the workload pins its own seed)", c.rlaOpts, want)
+		}
+	}
+	return nil
+}
+
+// coreOptions maps the public configuration onto the engine option
+// struct.
+func (c *config) coreOptions() core.Options {
+	return core.Options{
+		K:            c.k,
+		ForgetFactor: c.ff,
+		LowRank:      c.lowRank,
+		RLA:          c.rlaOpts,
+		R1:           c.r1,
+		Method:       c.method,
+	}
+}

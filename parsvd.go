@@ -1,0 +1,294 @@
+// Package parsvd is the public face of goparsvd, a Go reproduction of the
+// PyParSVD library (Maulik & Mengaldo, "PyParSVD: A streaming, distributed
+// and randomized singular-value-decomposition library", SC 2021). It
+// computes the truncated SVD of a snapshot matrix that arrives batch by
+// batch, optionally distributed across ranks and optionally with
+// randomized linear algebra inside.
+//
+// One constructor is the only way in:
+//
+//	svd, err := parsvd.New(parsvd.WithModes(10), parsvd.WithForgetFactor(0.95))
+//	if err != nil { ... }
+//	res, err := svd.Fit(ctx, parsvd.FromMatrix(snapshots, 100))
+//
+// Every knob is a functional option and every misconfiguration is an
+// error returned by New — nothing on the public path panics. The options
+// map one-to-one onto the paper's symbols:
+//
+//   - WithModes(k) is K, the truncation rank: the number of left singular
+//     vectors (POD modes) retained by every update (paper §3.1).
+//   - WithForgetFactor(ff) is ff ∈ (0, 1] of Algorithm 1 (Levy &
+//     Lindenbaum), down-weighting past batches; 1.0 reproduces the
+//     one-shot SVD, the paper's experiments use 0.95.
+//   - WithLowRank(...) turns on the paper's §3.3 randomization: every
+//     dense SVD in the pipeline is replaced by the Halko–Martinsson–Tropp
+//     randomized SVD. The optional RLA argument sets the oversampling p,
+//     the power-iteration count q and the sketch seed.
+//   - WithInitRank(r1) is the APMOS gather truncation r1 used by the
+//     distributed initialization (paper default 50).
+//   - WithBackend selects the execution mode: Serial is ParSVD_Serial,
+//     Parallel is ParSVD_Parallel over in-process goroutine ranks, and
+//     Distributed runs one OS process per rank over loopback TCP.
+//   - WithRanks(n) is the MPI world size for the non-serial backends.
+//
+// Data enters through the Source abstraction — an in-memory matrix
+// (FromMatrix), a batch-generator function (FromBatches), a self-
+// describing NetCDF-style container file (FromNetCDF), or a deterministic
+// benchmark workload (FromWorkload) — via the context-aware Fit loop, or
+// incrementally through Push. Results carry the global modes, the
+// spectrum and the iteration counters regardless of backend, and Save /
+// Load round-trip the full streaming state for checkpoint/restart.
+package parsvd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"goparsvd/internal/mat"
+)
+
+// Result is the outcome of a decomposition, identical in shape across
+// backends.
+type Result struct {
+	// Modes is the full M×K matrix of truncated left singular vectors
+	// (the POD modes), assembled across ranks for the parallel backend.
+	// It is nil for the Distributed backend, whose modes live in worker
+	// processes; ModesSHA256 fingerprints them instead.
+	Modes *Matrix
+	// Singular holds the truncated singular values in descending order.
+	Singular []float64
+	// Iterations is the number of streaming updates performed (the
+	// Initialize batch is not counted).
+	Iterations int
+	// Snapshots is the total number of ingested snapshot columns.
+	Snapshots int
+	// ModesSHA256 fingerprints the gathered mode matrix of a Distributed
+	// run (dims plus row-major IEEE-754 bits), so runs can be compared
+	// bit-for-bit across transports without shipping the matrix.
+	ModesSHA256 string
+}
+
+// clone deep-copies a result so callers can mutate what they are handed
+// without aliasing retained state.
+func (r *Result) clone() *Result {
+	out := *r
+	out.Singular = append([]float64(nil), r.Singular...)
+	if r.Modes != nil {
+		out.Modes = r.Modes.Clone()
+	}
+	return &out
+}
+
+// Stats summarizes the inter-rank traffic of a parallel or distributed
+// run. It is zero for the serial backend.
+type Stats struct {
+	Ranks    int
+	Messages int64
+	Bytes    int64
+}
+
+// engine is the backend-side contract behind SVD for the backends that
+// hold streaming state in this process (Serial and Parallel).
+type engine interface {
+	push(b *mat.Dense) error
+	result() (*Result, error)
+	// save serializes the engine state; a non-nil res is a result just
+	// produced by result(), letting the parallel backend skip a second
+	// gather collective.
+	save(w io.Writer, res *Result) error
+	stats() Stats
+	close() error
+}
+
+// SVD is a handle on one streaming decomposition. Construct it with New,
+// feed it through Fit or Push, read it through Result, persist it with
+// Save. A Distributed SVD is driven exclusively through Fit.
+//
+// Methods on SVD are safe for use from a single goroutine; concurrent
+// calls are serialized internally.
+type SVD struct {
+	cfg config
+
+	mu      sync.Mutex
+	eng     engine // nil for the Distributed backend
+	distRes *Result
+	distSts Stats
+	closed  bool
+}
+
+// New builds a decomposition from functional options. The zero
+// configuration (no options) is a serial engine with K = 10 modes and
+// forget factor 1.0. Invalid or contradictory options are reported as an
+// error; New never panics.
+func New(opts ...Option) (*SVD, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, errors.New("parsvd: nil Option")
+		}
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &SVD{cfg: cfg}
+	switch cfg.backend {
+	case Serial:
+		s.eng = newSerialEngine(cfg.coreOptions())
+	case Parallel:
+		s.eng = newParallelEngine(cfg.coreOptions(), cfg.ranks)
+	case Distributed:
+		// No in-process engine: Fit launches one worker process per rank.
+	}
+	return s, nil
+}
+
+// Backend reports which execution mode this SVD was built with.
+func (s *SVD) Backend() Backend { return s.cfg.backend }
+
+// Ranks reports the world size (1 for the serial backend).
+func (s *SVD) Ranks() int { return s.cfg.ranks }
+
+// Fit drains src through the decomposition: the first batch seeds it
+// (Algorithm 1's initialization), every further batch is a streaming
+// update. ctx is checked between batches; cancellation returns ctx.Err()
+// with the state as of the last completed batch intact. If src implements
+// io.Closer it is closed before Fit returns. When a checkpoint writer was
+// configured (WithCheckpoint), the final state is saved to it after the
+// source drains.
+//
+// For the Distributed backend src must come from FromWorkload; the
+// deterministic workload is replayed inside every worker process.
+func (s *SVD) Fit(ctx context.Context, src Source) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if src == nil {
+		return nil, errors.New("parsvd: Fit with nil Source")
+	}
+	if c, ok := src.(io.Closer); ok {
+		defer c.Close()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("parsvd: Fit on closed SVD")
+	}
+	if s.cfg.backend == Distributed {
+		return s.fitDistributed(ctx, src)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		b, err := src.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("parsvd: source: %w", err)
+		}
+		if err := s.eng.push(b); err != nil {
+			return nil, err
+		}
+	}
+	res, err := s.eng.result()
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.checkpoint != nil {
+		if err := s.eng.save(s.cfg.checkpoint, res); err != nil {
+			return nil, fmt.Errorf("parsvd: writing checkpoint: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// Push ingests one snapshot batch (M×B): the first call seeds the
+// decomposition, later calls stream. It is the incremental alternative to
+// Fit for callers that produce batches themselves. The Distributed
+// backend does not support Push — its state lives in worker processes.
+func (s *SVD) Push(batch *Matrix) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("parsvd: Push on closed SVD")
+	}
+	if s.cfg.backend == Distributed {
+		return errors.New("parsvd: the Distributed backend is driven by Fit with a FromWorkload source; Push is not supported")
+	}
+	return s.eng.push(batch)
+}
+
+// Result snapshots the current decomposition: modes, spectrum, counters.
+// At least one batch must have been ingested. The returned matrices are
+// copies owned by the caller.
+func (s *SVD) Result() (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("parsvd: Result on closed SVD")
+	}
+	if s.cfg.backend == Distributed {
+		if s.distRes == nil {
+			return nil, errors.New("parsvd: no distributed run completed yet; call Fit first")
+		}
+		return s.distRes.clone(), nil
+	}
+	return s.eng.result()
+}
+
+// Stats reports the inter-rank traffic so far (zero for serial).
+func (s *SVD) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.backend == Distributed {
+		return s.distSts
+	}
+	if s.eng == nil {
+		return Stats{}
+	}
+	return s.eng.stats()
+}
+
+// Save serializes the full streaming state — options, global modes,
+// singular values, counters — in the goparsvd checkpoint format readable
+// by Load. For the parallel backend the per-rank slices are gathered
+// first, so the checkpoint always holds the global state and can be
+// resumed serially. The Distributed backend cannot Save (its state lives
+// in worker processes).
+func (s *SVD) Save(w io.Writer) error {
+	if w == nil {
+		return errors.New("parsvd: Save with nil writer")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("parsvd: Save on closed SVD")
+	}
+	if s.cfg.backend == Distributed {
+		return errors.New("parsvd: the Distributed backend cannot Save; its state lives in worker processes")
+	}
+	return s.eng.save(w, nil)
+}
+
+// Close releases backend resources (the parallel backend's rank
+// goroutines). The SVD is unusable afterwards. Close is idempotent and
+// optional for the serial backend.
+func (s *SVD) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.eng != nil {
+		return s.eng.close()
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+// Package postproc is the public analysis and reporting companion to the
+// parsvd facade — the role PyParSVD's postprocessing module plays for
+// ParSVD_Base. It compares mode sets, summarizes spectra, renders ASCII
+// overlays and writes CSV / PGM / GNC artifacts, working on the same
+// Matrix type the facade returns regardless of which backend produced
+// the modes.
+package postproc
+
+import (
+	"io"
+
+	"goparsvd/internal/grid"
+	"goparsvd/internal/mat"
+	ipostproc "goparsvd/internal/postproc"
+)
+
+// ModeError quantifies the disagreement of one mode pair: L2 and max-abs
+// difference after sign alignment, plus the cosine of the angle between
+// the vectors.
+type ModeError = ipostproc.ModeError
+
+// AlignSigns flips candidate columns so each correlates positively with
+// the reference (SVD signs are arbitrary) and returns the aligned copy.
+func AlignSigns(reference, candidate *mat.Dense) *mat.Dense {
+	return ipostproc.AlignSigns(reference, candidate)
+}
+
+// CompareModes reports per-mode errors between two mode matrices.
+func CompareModes(reference, candidate *mat.Dense) []ModeError {
+	return ipostproc.CompareModes(reference, candidate)
+}
+
+// EnergyFractions converts singular values to normalized energy
+// fractions σ_i² / Σσ².
+func EnergyFractions(s []float64) []float64 { return ipostproc.EnergyFractions(s) }
+
+// SingularValueReport prints a spectrum table with energy fractions.
+func SingularValueReport(w io.Writer, s []float64) { ipostproc.SingularValueReport(w, s) }
+
+// WriteSingularValuesCSV writes one or more spectra as CSV columns.
+func WriteSingularValuesCSV(w io.Writer, labels []string, series ...[]float64) error {
+	return ipostproc.WriteSingularValuesCSV(w, labels, series...)
+}
+
+// WriteModesCSV writes an x column followed by one column per mode.
+func WriteModesCSV(w io.Writer, x []float64, modes *mat.Dense) error {
+	return ipostproc.WriteModesCSV(w, x, modes)
+}
+
+// ASCIIPlot renders 1-D series as a terminal overlay plot.
+func ASCIIPlot(w io.Writer, title string, width, height int, labels []string, series ...[]float64) {
+	ipostproc.ASCIIPlot(w, title, width, height, labels, series...)
+}
+
+// WritePGMHeatmap renders a flattened nlat×nlon field as a portable
+// graymap image.
+func WritePGMHeatmap(w io.Writer, field []float64, nlat, nlon int) error {
+	return ipostproc.WritePGMHeatmap(w, field, nlat, nlon)
+}
+
+// WriteModesGNC persists a mode matrix plus its singular values as a
+// self-describing GNC container (inspect with cmd/gncinfo).
+func WriteModesGNC(path string, modes *mat.Dense, singular []float64, attrs map[string]string) error {
+	return ipostproc.WriteModesGNC(path, modes, singular, attrs)
+}
+
+// AbsCosine returns |cos∠(a, b)|: 1 means the vectors describe the same
+// structure up to sign and scale. The standard mode-validation metric.
+func AbsCosine(a, b []float64) float64 { return grid.AbsCosine(a, b) }

@@ -1,0 +1,27 @@
+// Package spod is the public face of goparsvd's spectral proper
+// orthogonal decomposition: coherent structures separated by frequency
+// (Welch-style blocking, FFT in time, then a POD at every frequency bin),
+// the spectral variant the paper's §2 motivates via the second author's
+// PySPOD package. Plain POD mixes a travelling wave's phases into pairs
+// of standing modes; SPOD recovers the wave and its period.
+package spod
+
+import (
+	"goparsvd/internal/mat"
+	ispod "goparsvd/internal/spod"
+)
+
+// Options configures an SPOD: NFFT is the block length, Overlap the
+// inter-block overlap fraction, DT the snapshot spacing (sets the
+// physical frequency axis), and K the modes retained per frequency.
+type Options = ispod.Options
+
+// Result holds per-frequency energies and modes; PeakFrequency locates
+// the dominant bin.
+type Result = ispod.Result
+
+// ComplexModes are the complex-valued spatial modes at one frequency.
+type ComplexModes = ispod.ComplexModes
+
+// Compute runs the decomposition on a (space × time) snapshot matrix.
+func Compute(a *mat.Dense, opts Options) *Result { return ispod.Compute(a, opts) }
