@@ -5,7 +5,7 @@ GO ?= go
 # benchstat wants repeated samples; `make bench BENCH_COUNT=10` feeds it.
 BENCH_COUNT ?= 1
 
-.PHONY: check build test vet fmt race smoke examples examples-gate bench bench-gate bench-stream worker
+.PHONY: check build test vet fmt race smoke serve-smoke examples examples-gate bench bench-gate bench-stream worker
 
 check: build test vet fmt
 
@@ -37,6 +37,15 @@ smoke:
 
 worker:
 	$(GO) build -o bin/parsvd-worker ./cmd/parsvd-worker
+
+# Serving smoke: boot the HTTP server on a random port, create a model,
+# stream the deterministic FromWorkload batches at it through the typed
+# client, and require the served spectrum to match an in-process run
+# within 1e-12 — then a race-detector pass over the serving subsystem
+# (concurrent pushers + readers on one model).
+serve-smoke:
+	$(GO) test -run 'TestServeSmoke' -v -count 1 ./server
+	$(GO) test -race -count 1 ./server/...
 
 # Public-API consumer gate: every example must build against the public
 # packages only, quickstart must run end-to-end, and neither examples/

@@ -59,8 +59,13 @@ func (s *SVD) fitDistributed(ctx context.Context, src Source) (*Result, error) {
 		Snapshots:   ws.w.Snapshots,
 		ModesSHA256: root.ModesSHA256,
 	}
-	s.distSts = Stats{Ranks: st.Ranks, Messages: st.Messages, Bytes: st.Bytes}
-	return s.distRes.clone(), nil
+	// distSts only carries the traffic counters; Stats() derives the rest
+	// (Backend, K, Ranks, ingest counters) from cfg and the fields below.
+	s.distSts = Stats{Messages: st.Messages, Bytes: st.Bytes}
+	s.rows = ws.w.RowsPerRank * s.cfg.ranks
+	s.snapshots = ws.w.Snapshots
+	s.updates = int64(s.distRes.Iterations) + 1 // the Initialize batch counts as an update
+	return s.distRes.Clone(), nil
 }
 
 // workloadIterations counts the IncorporateData calls a workload produces

@@ -168,7 +168,7 @@ func (pe *parallelEngine) push(b *mat.Dense) error {
 		return parOp{kind: parPush, block: b.SliceRows(p.Start, p.End)}
 	})
 	if err != nil {
-		pe.failed = fmt.Errorf("parsvd: parallel update failed: %w", err)
+		pe.failed = fmt.Errorf("%w: parallel update failed: %w", ErrEngineFailed, err)
 		return pe.failed
 	}
 	pe.pushed++
@@ -184,7 +184,7 @@ func (pe *parallelEngine) gather() (parReply, error) {
 	}
 	root, err := pe.dispatch(func(int) parOp { return parOp{kind: parGather} })
 	if err != nil {
-		pe.failed = fmt.Errorf("parsvd: gathering modes failed: %w", err)
+		pe.failed = fmt.Errorf("%w: gathering modes failed: %w", ErrEngineFailed, err)
 		return parReply{}, pe.failed
 	}
 	return root, nil

@@ -33,5 +33,11 @@ func Load(r io.Reader) (*SVD, error) {
 	cfg.rlaOpts = opts.RLA
 	cfg.r1 = opts.R1
 	cfg.method = opts.Method
-	return &SVD{cfg: cfg, eng: restoredSerialEngine(eng)}, nil
+	s := &SVD{cfg: cfg, eng: restoredSerialEngine(eng)}
+	// Rehydrate the ingest counters so Stats keeps reporting across a
+	// checkpoint/restore boundary.
+	s.rows = eng.Modes().Rows()
+	s.snapshots = eng.SnapshotsSeen()
+	s.updates = int64(eng.Iterations()) + 1 // Initialize counted as an update
+	return s, nil
 }

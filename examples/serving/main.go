@@ -1,0 +1,98 @@
+// Serving: the SVD-as-a-service round trip, in one process.
+//
+// This example embeds the goparsvd server (the same engine behind
+// cmd/parsvd-serve) on a loopback port, then acts as a remote client:
+// create a model, stream snapshot batches at it over HTTP, and query the
+// spectrum, stats and a reconstruction while ingest state lives entirely
+// on the server side. Everything here works identically against a
+// standalone `parsvd-serve` deployment — point client.New at it.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+
+	parsvd "goparsvd"
+	"goparsvd/server"
+	"goparsvd/server/client"
+)
+
+func main() {
+	// Boot the service on a loopback port.
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer func() {
+		httpSrv.Close()
+		srv.Close()
+	}()
+
+	ctx := context.Background()
+	c := client.New("http://" + ln.Addr().String())
+
+	// One model: rank-4 truncation with the paper's forget factor.
+	if _, err := c.CreateModel(ctx, server.ModelSpec{
+		Name:         "waves",
+		Modes:        4,
+		ForgetFactor: 0.95,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// A deterministic traveling-wave snapshot matrix: 96 grid points
+	// observed 40 times, streamed to the server in 8-column batches.
+	const rows, cols, batch = 96, 40, 8
+	snaps := parsvd.NewMatrix(rows, cols)
+	for j := 0; j < cols; j++ {
+		t := float64(j) / float64(cols)
+		for i := 0; i < rows; i++ {
+			x := float64(i) / float64(rows)
+			snaps.Set(i, j,
+				math.Sin(2*math.Pi*(x-t))+0.3*math.Cos(6*math.Pi*(x+0.5*t)))
+		}
+	}
+	for at := 0; at < cols; at += batch {
+		if _, err := c.Push(ctx, "waves", snaps.SliceCols(at, at+batch)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Query the decomposition the server holds.
+	spectrum, err := c.Spectrum(ctx, "waves")
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, err := c.Model(ctx, "waves")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model %q: %d snapshots ingested, %d updates, K=%d\n",
+		info.Spec.Name, info.Stats.Snapshots, info.Stats.Updates, info.Stats.K)
+	fmt.Printf("leading singular values: %.3f %.3f\n", spectrum.Singular[0], spectrum.Singular[1])
+
+	// Round-trip a snapshot through the server-side modes: project to 4
+	// coefficients, reconstruct, and measure the rank-4 error.
+	probe := snaps.SliceCols(0, 1)
+	coeffs, err := c.Project(ctx, "waves", probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := c.Reconstruct(ctx, "waves", coeffs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	relErr := parsvd.Sub(back, probe).FroNorm() / probe.FroNorm()
+	fmt.Printf("rank-%d reconstruction of snapshot 0: relative error %.2e\n",
+		coeffs.Rows(), relErr)
+}

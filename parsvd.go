@@ -52,6 +52,14 @@ import (
 
 // Result is the outcome of a decomposition, identical in shape across
 // backends.
+//
+// Aliasing: every reference field of a Result returned by SVD.Result (or
+// Fit) is a deep copy owned by the caller — the engine-internal storage
+// that backs the decomposition is recycled between streaming updates and
+// is never exposed here. Mutating a Result therefore cannot corrupt the
+// SVD, and a later Push cannot change a Result already handed out. To fan
+// one Result out to multiple goroutines that may each mutate it, give
+// each its own Clone.
 type Result struct {
 	// Modes is the full M×K matrix of truncated left singular vectors
 	// (the POD modes), assembled across ranks for the parallel backend.
@@ -71,9 +79,14 @@ type Result struct {
 	ModesSHA256 string
 }
 
-// clone deep-copies a result so callers can mutate what they are handed
-// without aliasing retained state.
-func (r *Result) clone() *Result {
+// Clone deep-copies the Result: the copy shares no storage with the
+// original, so one Result can be handed to arbitrarily many concurrent
+// readers (or mutators) as long as each works on its own Clone. A nil
+// receiver clones to nil.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
 	out := *r
 	out.Singular = append([]float64(nil), r.Singular...)
 	if r.Modes != nil {
@@ -82,10 +95,62 @@ func (r *Result) clone() *Result {
 	return &out
 }
 
-// Stats summarizes the inter-rank traffic of a parallel or distributed
-// run. It is zero for the serial backend.
+// ErrEngineFailed marks an SVD whose backend is permanently failed: a
+// rank panicked or a collective aborted, and the streaming state can no
+// longer be trusted or advanced. Every later Push/Result reports an error
+// wrapping this sentinel; the only recovery is a new SVD (or Load from a
+// checkpoint). Servers use it to distinguish a dead engine (their fault,
+// HTTP 5xx) from a bad request.
+var ErrEngineFailed = errors.New("parsvd: engine permanently failed")
+
+// Configuration echoes the options an SVD was built with — including one
+// rebuilt by Load, whose options come from the checkpoint. It exists so
+// callers wrapping SVDs (the serving layer) can report or persist the
+// effective configuration without holding on to the original Option list.
+type Configuration struct {
+	Modes        int
+	ForgetFactor float64
+	Backend      Backend
+	Ranks        int
+	InitRank     int
+	LowRank      bool
+	// RLA is the sketch tuning; zero when LowRank is false or the
+	// defaults are in effect.
+	RLA RLA
+}
+
+// Configuration reports the effective options of this SVD.
+func (s *SVD) Configuration() Configuration {
+	return Configuration{
+		Modes:        s.cfg.k,
+		ForgetFactor: s.cfg.ff,
+		Backend:      s.cfg.backend,
+		Ranks:        s.cfg.ranks,
+		InitRank:     s.cfg.r1,
+		LowRank:      s.cfg.lowRank,
+		RLA:          s.cfg.rlaOpts,
+	}
+}
+
+// Stats is the cheap introspection surface of an SVD: configuration,
+// ingest counters and inter-rank traffic. Reading it never gathers modes
+// or runs a collective, so it is safe to poll at serving frequency.
 type Stats struct {
-	Ranks    int
+	// Backend and K echo the configuration (WithBackend, WithModes).
+	Backend Backend
+	K       int
+	// Ranks is the world size (1 for the serial backend).
+	Ranks int
+	// Rows is the snapshot row count M, 0 until the first batch arrives.
+	Rows int
+	// Snapshots counts the ingested snapshot columns.
+	Snapshots int
+	// Updates counts the state-changing updates applied (the Initialize
+	// batch included): a monotone version counter for "has anything
+	// changed since I last looked".
+	Updates int64
+	// Messages and Bytes summarize the inter-rank traffic of a parallel
+	// or distributed run; they stay zero for the serial backend.
 	Messages int64
 	Bytes    int64
 }
@@ -117,6 +182,11 @@ type SVD struct {
 	distRes *Result
 	distSts Stats
 	closed  bool
+
+	// Ingest counters surfaced by Stats without touching the engine.
+	rows      int
+	snapshots int
+	updates   int64
 }
 
 // New builds a decomposition from functional options. The zero
@@ -193,7 +263,7 @@ func (s *SVD) Fit(ctx context.Context, src Source) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("parsvd: source: %w", err)
 		}
-		if err := s.eng.push(b); err != nil {
+		if err := s.pushLocked(b); err != nil {
 			return nil, err
 		}
 	}
@@ -222,7 +292,21 @@ func (s *SVD) Push(batch *Matrix) error {
 	if s.cfg.backend == Distributed {
 		return errors.New("parsvd: the Distributed backend is driven by Fit with a FromWorkload source; Push is not supported")
 	}
-	return s.eng.push(batch)
+	return s.pushLocked(batch)
+}
+
+// pushLocked forwards a batch to the engine and maintains the ingest
+// counters behind Stats. Called with s.mu held.
+func (s *SVD) pushLocked(b *Matrix) error {
+	if err := s.eng.push(b); err != nil {
+		return err
+	}
+	if s.rows == 0 {
+		s.rows = b.Rows()
+	}
+	s.snapshots += b.Cols()
+	s.updates++
+	return nil
 }
 
 // Result snapshots the current decomposition: modes, spectrum, counters.
@@ -238,22 +322,34 @@ func (s *SVD) Result() (*Result, error) {
 		if s.distRes == nil {
 			return nil, errors.New("parsvd: no distributed run completed yet; call Fit first")
 		}
-		return s.distRes.clone(), nil
+		return s.distRes.Clone(), nil
 	}
 	return s.eng.result()
 }
 
-// Stats reports the inter-rank traffic so far (zero for serial).
+// Stats reports the SVD's configuration, ingest counters and inter-rank
+// traffic. Unlike Result it never gathers modes, so it is cheap enough to
+// poll per request when the SVD backs a service.
 func (s *SVD) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	st := Stats{
+		Backend:   s.cfg.backend,
+		K:         s.cfg.k,
+		Ranks:     s.cfg.ranks,
+		Rows:      s.rows,
+		Snapshots: s.snapshots,
+		Updates:   s.updates,
+	}
 	if s.cfg.backend == Distributed {
-		return s.distSts
+		st.Messages, st.Bytes = s.distSts.Messages, s.distSts.Bytes
+		return st
 	}
-	if s.eng == nil {
-		return Stats{}
+	if s.eng != nil {
+		es := s.eng.stats()
+		st.Messages, st.Bytes = es.Messages, es.Bytes
 	}
-	return s.eng.stats()
+	return st
 }
 
 // Save serializes the full streaming state — options, global modes,

@@ -1,0 +1,356 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	parsvd "goparsvd"
+)
+
+// MatrixJSON is the wire form of a dense matrix: row-major data with
+// explicit dims, so a payload can be validated before it touches the
+// engine. Columns are snapshots, rows are degrees of freedom — the same
+// orientation as everywhere in parsvd.
+type MatrixJSON struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+// NewMatrixJSON wraps a matrix for encoding. The Data slice aliases the
+// matrix (no copy); encode it promptly and do not mutate either side.
+func NewMatrixJSON(m *parsvd.Matrix) MatrixJSON {
+	return MatrixJSON{Rows: m.Rows(), Cols: m.Cols(), Data: m.RawData()}
+}
+
+// Matrix validates the payload and adopts it as a parsvd.Matrix.
+func (mj MatrixJSON) Matrix() (*parsvd.Matrix, error) {
+	if mj.Rows < 1 || mj.Cols < 1 {
+		return nil, fmt.Errorf("server: matrix dims %dx%d: both must be >= 1", mj.Rows, mj.Cols)
+	}
+	m, err := parsvd.NewMatrixFromData(mj.Rows, mj.Cols, mj.Data)
+	if err != nil {
+		return nil, fmt.Errorf("server: %d data values for a %dx%d matrix", len(mj.Data), mj.Rows, mj.Cols)
+	}
+	return m, nil
+}
+
+// StatsJSON is the wire form of parsvd.Stats.
+type StatsJSON struct {
+	Backend   string `json:"backend"`
+	K         int    `json:"k"`
+	Ranks     int    `json:"ranks"`
+	Rows      int    `json:"rows"`
+	Snapshots int    `json:"snapshots"`
+	Updates   int64  `json:"updates"`
+	Messages  int64  `json:"messages"`
+	Bytes     int64  `json:"bytes"`
+}
+
+func statsJSON(st parsvd.Stats) StatsJSON {
+	return StatsJSON{
+		Backend:   st.Backend.String(),
+		K:         st.K,
+		Ranks:     st.Ranks,
+		Rows:      st.Rows,
+		Snapshots: st.Snapshots,
+		Updates:   st.Updates,
+		Messages:  st.Messages,
+		Bytes:     st.Bytes,
+	}
+}
+
+// ModelInfo is the API representation of a registered model.
+type ModelInfo struct {
+	Spec    ModelSpec `json:"spec"`
+	Stats   StatsJSON `json:"stats"`
+	Version uint64    `json:"version"`
+	// QueueDepth is the number of pushes waiting in the ingest queue.
+	QueueDepth int `json:"queue_depth"`
+	// IngestErr is the last view-publish fault, "" when healthy.
+	IngestErr string `json:"ingest_error,omitempty"`
+}
+
+// PushAck confirms an applied push: the model state it is part of.
+type PushAck struct {
+	Snapshots int    `json:"snapshots"`
+	Version   uint64 `json:"version"`
+}
+
+// SpectrumResponse carries the singular values of the current View.
+type SpectrumResponse struct {
+	Singular  []float64 `json:"singular"`
+	Version   uint64    `json:"version"`
+	Snapshots int       `json:"snapshots"`
+}
+
+// ModesResponse carries the M×K mode matrix of the current View.
+type ModesResponse struct {
+	Modes   MatrixJSON `json:"modes"`
+	Version uint64     `json:"version"`
+}
+
+// MatrixResponse carries a computed matrix (projection coefficients,
+// reconstructed snapshots) plus the View version it was computed against.
+type MatrixResponse struct {
+	Matrix  MatrixJSON `json:"matrix"`
+	Version uint64     `json:"version"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Models int    `json:"models"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/models", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/models", s.handleList)
+	s.mux.HandleFunc("GET /v1/models/{name}", s.handleInfo)
+	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/models/{name}/push", s.handlePush)
+	s.mux.HandleFunc("GET /v1/models/{name}/spectrum", s.handleSpectrum)
+	s.mux.HandleFunc("GET /v1/models/{name}/modes", s.handleModes)
+	s.mux.HandleFunc("GET /v1/models/{name}/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/models/{name}/reconstruct", s.handleReconstruct)
+	s.mux.HandleFunc("POST /v1/models/{name}/project", s.handleProject)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := httpStatus(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorResponse{Error: errorMessage(err)})
+}
+
+// decodeJSON reads one JSON value, mapping an oversized body to 413.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("server: request body exceeds %d bytes", tooBig.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "server: invalid JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// lookup resolves the {name} path segment; a miss writes the 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*model, bool) {
+	m, err := s.reg.get(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return nil, false
+	}
+	return m, true
+}
+
+// viewOf returns the model's current View; absence (no data pushed yet)
+// writes the 409.
+func viewOf(w http.ResponseWriter, m *model) (*View, bool) {
+	v := m.currentView()
+	if v == nil {
+		writeError(w, fmt.Errorf("%w: push at least one snapshot batch first", ErrNoData))
+		return nil, false
+	}
+	return v, true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Models: s.reg.count()})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec ModelSpec
+	if !decodeJSON(w, r, &spec) {
+		return
+	}
+	info, err := s.CreateModel(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	models := s.reg.list()
+	infos := make([]ModelInfo, 0, len(models))
+	for _, m := range models {
+		infos = append(infos, m.info())
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, m.info())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.deleteModel(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handlePush enqueues one snapshot batch and waits for the ingest loop to
+// apply it (possibly coalesced with its queue neighbors into one stacked
+// engine update). A client that goes away while waiting gets a clean 499
+// — never a backend abort string — and its batch may still be applied.
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var mj MatrixJSON
+	if !decodeJSON(w, r, &mj) {
+		return
+	}
+	batch, err := mj.Matrix()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	req := &pushReq{batch: batch, errc: make(chan error, 1)}
+	if err := m.enqueue(req); err != nil {
+		writeError(w, err)
+		return
+	}
+	select {
+	case err := <-req.errc:
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		ack := PushAck{}
+		if v := m.currentView(); v != nil {
+			ack = PushAck{Snapshots: v.Stats.Snapshots, Version: v.Version}
+		}
+		writeJSON(w, http.StatusOK, ack)
+	case <-r.Context().Done():
+		writeError(w, r.Context().Err())
+	}
+}
+
+func (s *Server) handleSpectrum(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	v, ok := viewOf(w, m)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, SpectrumResponse{
+		Singular:  v.Result.Singular,
+		Version:   v.Version,
+		Snapshots: v.Result.Snapshots,
+	})
+}
+
+func (s *Server) handleModes(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	v, ok := viewOf(w, m)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, ModesResponse{
+		Modes:   NewMatrixJSON(v.Result.Modes),
+		Version: v.Version,
+	})
+}
+
+// handleStats serves counters from the last published stats snapshot plus
+// the live queue gauge: no gather, no engine lock, so it stays cheap even
+// while a model churns through a large update.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, m.info())
+}
+
+// handleProject maps M×B snapshots to K×B modal coefficients (Uᵀ·a)
+// against the current View's modes — snapshot-isolated from ingest.
+func (s *Server) handleProject(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	v, ok := viewOf(w, m)
+	if !ok {
+		return
+	}
+	var mj MatrixJSON
+	if !decodeJSON(w, r, &mj) {
+		return
+	}
+	a, err := mj.Matrix()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	modes := v.Result.Modes
+	if a.Rows() != modes.Rows() {
+		writeError(w, fmt.Errorf("server: project needs %d-row snapshots, got %d", modes.Rows(), a.Rows()))
+		return
+	}
+	coeffs := parsvd.MulTransA(modes, a)
+	writeJSON(w, http.StatusOK, MatrixResponse{Matrix: NewMatrixJSON(coeffs), Version: v.Version})
+}
+
+// handleReconstruct maps K×B coefficients back to snapshot space (U·c).
+func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	v, ok := viewOf(w, m)
+	if !ok {
+		return
+	}
+	var mj MatrixJSON
+	if !decodeJSON(w, r, &mj) {
+		return
+	}
+	c, err := mj.Matrix()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	modes := v.Result.Modes
+	if c.Rows() != modes.Cols() {
+		writeError(w, fmt.Errorf("server: reconstruct needs %d-row coefficients, got %d", modes.Cols(), c.Rows()))
+		return
+	}
+	snaps := parsvd.Mul(modes, c)
+	writeJSON(w, http.StatusOK, MatrixResponse{Matrix: NewMatrixJSON(snaps), Version: v.Version})
+}

@@ -1,0 +1,177 @@
+// Package client is the typed Go client of the parsvd serving API
+// (goparsvd/server, cmd/parsvd-serve): model lifecycle, snapshot pushes
+// and snapshot-isolated queries over HTTP JSON.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	parsvd "goparsvd"
+	"goparsvd/server"
+)
+
+// Client talks to one parsvd server. The zero value is not usable;
+// construct with New.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient is the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the server at base (scheme://host[:port]).
+func New(base string) *Client {
+	return &Client{BaseURL: strings.TrimRight(base, "/")}
+}
+
+// APIError is a non-2xx response: the HTTP status plus the server's
+// error message.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("parsvd server: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// IsRetryable reports whether the request may succeed if simply retried:
+// backpressure (429) and shutdown (503) responses.
+func (e *APIError) IsRetryable() bool {
+	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode == http.StatusServiceUnavailable
+}
+
+// do runs one JSON round trip. in == nil skips the request body, out ==
+// nil discards the response body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	var h server.HealthResponse
+	return c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+}
+
+// CreateModel registers a new streaming decomposition.
+func (c *Client) CreateModel(ctx context.Context, spec server.ModelSpec) (server.ModelInfo, error) {
+	var info server.ModelInfo
+	err := c.do(ctx, http.MethodPost, "/v1/models", spec, &info)
+	return info, err
+}
+
+// Models lists the registered models, sorted by name.
+func (c *Client) Models(ctx context.Context) ([]server.ModelInfo, error) {
+	var infos []server.ModelInfo
+	err := c.do(ctx, http.MethodGet, "/v1/models", nil, &infos)
+	return infos, err
+}
+
+// Model fetches one model's info and stats.
+func (c *Client) Model(ctx context.Context, name string) (server.ModelInfo, error) {
+	var info server.ModelInfo
+	err := c.do(ctx, http.MethodGet, "/v1/models/"+name, nil, &info)
+	return info, err
+}
+
+// DeleteModel unregisters a model and removes its checkpoint.
+func (c *Client) DeleteModel(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/models/"+name, nil, nil)
+}
+
+// Push ingests one M×B snapshot batch and waits until the server's
+// ingest loop has applied it (possibly coalesced with concurrent pushes
+// into one engine update). A 429 means the model's queue is full —
+// back off and retry.
+func (c *Client) Push(ctx context.Context, name string, batch *parsvd.Matrix) (server.PushAck, error) {
+	var ack server.PushAck
+	err := c.do(ctx, http.MethodPost, "/v1/models/"+name+"/push", server.NewMatrixJSON(batch), &ack)
+	return ack, err
+}
+
+// Spectrum fetches the singular values of the model's current view.
+func (c *Client) Spectrum(ctx context.Context, name string) (server.SpectrumResponse, error) {
+	var sp server.SpectrumResponse
+	err := c.do(ctx, http.MethodGet, "/v1/models/"+name+"/spectrum", nil, &sp)
+	return sp, err
+}
+
+// Modes fetches the M×K mode matrix of the model's current view, plus
+// the view version it belongs to.
+func (c *Client) Modes(ctx context.Context, name string) (*parsvd.Matrix, uint64, error) {
+	var mr server.ModesResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/models/"+name+"/modes", nil, &mr); err != nil {
+		return nil, 0, err
+	}
+	m, err := mr.Modes.Matrix()
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, mr.Version, nil
+}
+
+// Project maps M×B snapshots to K×B modal coefficients (Uᵀ·a) against
+// the server's current view.
+func (c *Client) Project(ctx context.Context, name string, snapshots *parsvd.Matrix) (*parsvd.Matrix, error) {
+	return c.matrixCall(ctx, name, "project", snapshots)
+}
+
+// Reconstruct maps K×B coefficients back to M×B snapshot space (U·c).
+func (c *Client) Reconstruct(ctx context.Context, name string, coeffs *parsvd.Matrix) (*parsvd.Matrix, error) {
+	return c.matrixCall(ctx, name, "reconstruct", coeffs)
+}
+
+func (c *Client) matrixCall(ctx context.Context, name, op string, in *parsvd.Matrix) (*parsvd.Matrix, error) {
+	var mr server.MatrixResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/models/"+name+"/"+op, server.NewMatrixJSON(in), &mr); err != nil {
+		return nil, err
+	}
+	return mr.Matrix.Matrix()
+}

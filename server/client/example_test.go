@@ -1,0 +1,64 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	parsvd "goparsvd"
+	"goparsvd/server"
+	"goparsvd/server/client"
+)
+
+// Example boots an in-process parsvd server, creates a model, streams a
+// small snapshot matrix into it in batches and reads the decomposition
+// back — the whole serving round trip in one place. Against a real
+// deployment, replace the httptest URL with the parsvd-serve address.
+func Example() {
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	ctx := context.Background()
+	c := client.New(ts.URL)
+
+	if _, err := c.CreateModel(ctx, server.ModelSpec{
+		Name:         "demo",
+		Modes:        3,
+		ForgetFactor: 0.95,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// A deterministic 8x12 snapshot matrix, streamed in 4-column batches.
+	const rows, cols, batch = 8, 12, 4
+	snaps := parsvd.NewMatrix(rows, cols)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			snaps.Set(i, j, float64((i+1)*(j+2)%7)+0.5*float64(i))
+		}
+	}
+	var ack server.PushAck
+	for at := 0; at < cols; at += batch {
+		if ack, err = c.Push(ctx, "demo", snaps.SliceCols(at, at+batch)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	spectrum, err := c.Spectrum(ctx, "demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	modes, _, err := c.Modes(ctx, "demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshots=%d singular_values=%d modes=%dx%d\n",
+		ack.Snapshots, len(spectrum.Singular), modes.Rows(), modes.Cols())
+	// Output: snapshots=12 singular_values=3 modes=8x3
+}

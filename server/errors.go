@@ -1,0 +1,80 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+
+	parsvd "goparsvd"
+)
+
+// Sentinel errors of the serving layer. Handlers map them onto HTTP
+// status codes through httpStatus; the client package maps the codes
+// back.
+var (
+	// ErrModelNotFound reports a model name absent from the registry.
+	ErrModelNotFound = errors.New("server: model not found")
+	// ErrModelExists reports a create for a name already registered.
+	ErrModelExists = errors.New("server: model already exists")
+	// ErrBacklogFull is the backpressure signal: the model's bounded
+	// ingest queue is full and the push was not enqueued. Clients should
+	// retry after a backoff (HTTP 429).
+	ErrBacklogFull = errors.New("server: ingest queue is full, retry later")
+	// ErrModelClosed reports a push to a model that is shutting down.
+	ErrModelClosed = errors.New("server: model is closed")
+	// ErrServerClosed reports a model create after (or racing) Close.
+	ErrServerClosed = errors.New("server: server is closed")
+	// ErrNoData reports a read from a model that has not ingested any
+	// snapshot batch yet, so no view has been published.
+	ErrNoData = errors.New("server: model has no data yet")
+)
+
+// StatusClientClosedRequest is the non-standard 499 status (nginx
+// convention) reported when the client goes away while its push is
+// waiting in the ingest queue.
+const StatusClientClosedRequest = 499
+
+// httpStatus maps an error onto the HTTP status code the API reports.
+// Context errors are checked first so a canceled handler never surfaces a
+// backend abort string: the client sees a clean 499/504.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrModelNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrModelExists):
+		return http.StatusConflict
+	case errors.Is(err, ErrBacklogFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrModelClosed), errors.Is(err, ErrServerClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrNoData):
+		return http.StatusConflict
+	case errors.Is(err, parsvd.ErrEngineFailed):
+		// A permanently failed engine (rank panic, aborted collective) is
+		// a server-side fault, not a caller mistake.
+		return http.StatusInternalServerError
+	}
+	// Belt and braces for engine faults that predate the typed sentinel.
+	if msg := err.Error(); strings.Contains(msg, "abort") || strings.Contains(msg, "panic") {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}
+
+// errorMessage rewrites internal error text that should not leak to HTTP
+// clients verbatim. Cancellation in particular must read as a clean
+// client-side condition, not as a backend abort trace.
+func errorMessage(err error) string {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return "client closed the request before the push was applied; it may still be applied by the ingest loop"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "request deadline exceeded before the push was applied; it may still be applied by the ingest loop"
+	}
+	return err.Error()
+}

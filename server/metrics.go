@@ -1,0 +1,36 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// handleMetrics exposes Prometheus-style plaintext gauges. Everything
+// here comes from already-published stats snapshots and queue counters —
+// no gather, no engine lock — so scraping stays cheap and contention-free
+// under ingest load.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP parsvd_http_requests_total HTTP requests served.\n")
+	fmt.Fprintf(w, "# TYPE parsvd_http_requests_total counter\n")
+	fmt.Fprintf(w, "parsvd_http_requests_total %d\n", s.requests.Load())
+	fmt.Fprintf(w, "# HELP parsvd_models Registered models.\n")
+	fmt.Fprintf(w, "# TYPE parsvd_models gauge\n")
+	fmt.Fprintf(w, "parsvd_models %d\n", s.reg.count())
+
+	fmt.Fprintf(w, "# HELP parsvd_model_snapshots Snapshot columns ingested per model.\n")
+	fmt.Fprintf(w, "# TYPE parsvd_model_snapshots counter\n")
+	fmt.Fprintf(w, "# HELP parsvd_model_updates Engine updates applied per model.\n")
+	fmt.Fprintf(w, "# TYPE parsvd_model_updates counter\n")
+	fmt.Fprintf(w, "# HELP parsvd_model_queue_depth Pushes waiting in the ingest queue.\n")
+	fmt.Fprintf(w, "# TYPE parsvd_model_queue_depth gauge\n")
+	fmt.Fprintf(w, "# HELP parsvd_model_comm_bytes Inter-rank traffic bytes per model.\n")
+	fmt.Fprintf(w, "# TYPE parsvd_model_comm_bytes counter\n")
+	for _, m := range s.reg.list() {
+		st := m.statsSnapshot()
+		fmt.Fprintf(w, "parsvd_model_snapshots{model=%q} %d\n", m.name, st.Snapshots)
+		fmt.Fprintf(w, "parsvd_model_updates{model=%q} %d\n", m.name, st.Updates)
+		fmt.Fprintf(w, "parsvd_model_queue_depth{model=%q} %d\n", m.name, m.pending.Load())
+		fmt.Fprintf(w, "parsvd_model_comm_bytes{model=%q} %d\n", m.name, st.Bytes)
+	}
+}

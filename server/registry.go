@@ -1,0 +1,70 @@
+package server
+
+import (
+	"sort"
+	"sync"
+)
+
+// registry is the set of live models, keyed by name. It only guards the
+// map: each model carries its own ingest concurrency.
+type registry struct {
+	mu     sync.RWMutex
+	models map[string]*model
+}
+
+func newRegistry() *registry {
+	return &registry{models: make(map[string]*model)}
+}
+
+// add registers a model that is not yet running. The caller starts it
+// (m.run) on success; on ErrModelExists the caller owns cleanup.
+func (r *registry) add(m *model) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.models[m.name]; ok {
+		return ErrModelExists
+	}
+	r.models[m.name] = m
+	return nil
+}
+
+func (r *registry) get(name string) (*model, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[name]
+	if !ok {
+		return nil, ErrModelNotFound
+	}
+	return m, nil
+}
+
+// remove unregisters and returns the model; the caller shuts it down
+// outside the registry lock so a slow drain never blocks lookups.
+func (r *registry) remove(name string) (*model, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.models[name]
+	if !ok {
+		return nil, ErrModelNotFound
+	}
+	delete(r.models, name)
+	return m, nil
+}
+
+// list returns the models sorted by name for stable API output.
+func (r *registry) list() []*model {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*model, 0, len(r.models))
+	for _, m := range r.models {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (r *registry) count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}

@@ -1,0 +1,268 @@
+// Package server turns the parsvd facade into a long-running
+// SVD-as-a-service: a registry of named streaming decompositions behind
+// an HTTP JSON API, with micro-batched ingest, snapshot-isolated reads
+// and per-model checkpoint persistence.
+//
+// Architecture, per model:
+//
+//	HTTP pushers ──► bounded queue ──► single-writer ingest loop ──► parsvd.SVD
+//	                     (429 when full)   (coalesces queued pushes        │
+//	                                        into one stacked Push)         ▼
+//	HTTP readers ◄──────────── atomic View pointer ◄──────────── copy-on-publish
+//
+// Writers never block readers and readers never block writers: every
+// applied micro-batch publishes a fresh deep-copied View (spectrum +
+// modes + stats), and queries serve whatever View is current. The PR 1
+// engines recycle their mode storage between updates, which is exactly
+// why reads go through Views and never through the live engine.
+package server
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	parsvd "goparsvd"
+)
+
+// Config tunes a Server. The zero value is serviceable: 64-deep queues,
+// 16-way coalescing, 32 MiB bodies, no persistence.
+type Config struct {
+	// QueueDepth bounds each model's ingest queue; a full queue rejects
+	// pushes with 429 (backpressure) instead of buffering without bound.
+	// Default 64.
+	QueueDepth int
+	// MaxCoalesce caps how many queued pushes the ingest loop folds into
+	// one engine update. Default 16. Each micro-batch is one streaming
+	// update, so with a forget factor < 1 the down-weighting applies per
+	// micro-batch (queue timing decides the boundaries); set 1 to force
+	// strictly per-push updates at the cost of coalescing throughput.
+	MaxCoalesce int
+	// CheckpointDir, when set, enables persistence: every model
+	// periodically saves to <dir>/<name>.ckpt and every *.ckpt found at
+	// construction is restored as a live model. The directory is created
+	// if missing.
+	CheckpointDir string
+	// CheckpointInterval is the save cadence. Default 30s.
+	CheckpointInterval time.Duration
+	// MaxBodyBytes bounds request bodies (413 beyond). Default 32 MiB.
+	MaxBodyBytes int64
+	// Logf receives operational log lines. Default log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxCoalesce <= 0 {
+		c.MaxCoalesce = 16
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+// Server hosts the model registry and the HTTP API. Construct with New,
+// mount Handler on an http.Server, and Close on the way out (after the
+// HTTP listener has drained) to flush queues and write final checkpoints.
+type Server struct {
+	cfg Config
+	reg *registry
+	mux *http.ServeMux
+
+	requests atomic.Int64 // total HTTP requests, for /metrics
+
+	// stateMu orders model creation against Close: startModel holds the
+	// read side across the closed-check + registry add, so once Close has
+	// set closed under the write side, no new ingest loop can slip in
+	// after the final drain.
+	stateMu sync.RWMutex
+	closed  bool
+}
+
+// New builds a Server and, when cfg.CheckpointDir is set, restores every
+// checkpoint in it as a live model (restore-on-boot).
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	s := &Server{cfg: cfg, reg: newRegistry(), mux: http.NewServeMux()}
+	s.routes()
+	if cfg.CheckpointDir != "" {
+		if err := s.restore(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// CreateModel registers and starts a model from a spec: the programmatic
+// twin of POST /v1/models, used by the HTTP handler, restore-on-boot and
+// embedding callers alike.
+func (s *Server) CreateModel(spec ModelSpec) (ModelInfo, error) {
+	opts, err := spec.options()
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	svd, err := parsvd.New(opts...)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	return s.startModel(spec, svd)
+}
+
+// startModel mounts a ready SVD (fresh or restored) into the registry.
+func (s *Server) startModel(spec ModelSpec, svd *parsvd.SVD) (ModelInfo, error) {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if s.closed {
+		svd.Close()
+		return ModelInfo{}, ErrServerClosed
+	}
+	m := newModel(spec, svd, s.cfg)
+	if err := s.reg.add(m); err != nil {
+		svd.Close()
+		return ModelInfo{}, err
+	}
+	m.run()
+	return m.info(), nil
+}
+
+// restore loads every <name>.ckpt in CheckpointDir into a live model.
+// Checkpoints always resume on the serial backend (parsvd.Load semantics);
+// the restored spec echoes the full configuration the checkpoint carries.
+// One unreadable or corrupt checkpoint must not take down every healthy
+// model: it is quarantined (renamed to .ckpt.bad, out of the checkpoint
+// namespace) and skipped with a loud log line instead of failing boot.
+func (s *Server) restore() error {
+	dir := s.cfg.CheckpointDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("server: checkpoint dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("server: checkpoint dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ckpt") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".ckpt")
+		if !validName(name) {
+			s.cfg.Logf("parsvd-serve: skipping checkpoint with invalid model name %q", e.Name())
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		svd, err := loadCheckpoint(path)
+		if err != nil {
+			s.cfg.Logf("parsvd-serve: SKIPPING unrestorable checkpoint %s: %v", path, err)
+			if renameErr := os.Rename(path, path+".bad"); renameErr == nil {
+				s.cfg.Logf("parsvd-serve: quarantined %s as %s.bad", path, path)
+			}
+			continue
+		}
+		spec := specFromConfiguration(name, svd.Configuration())
+		if _, err := s.startModel(spec, svd); err != nil {
+			svd.Close()
+			return fmt.Errorf("server: restoring %s: %w", path, err)
+		}
+		st := svd.Stats()
+		s.cfg.Logf("parsvd-serve: restored model %s (K=%d, %d snapshots)", name, st.K, st.Snapshots)
+	}
+	return nil
+}
+
+func loadCheckpoint(path string) (*parsvd.SVD, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parsvd.Load(f)
+}
+
+// specFromConfiguration rebuilds the API spec of a restored model from
+// the facade's configuration echo, so GET /v1/models keeps reporting the
+// forget factor, init rank and randomization settings across restarts.
+func specFromConfiguration(name string, c parsvd.Configuration) ModelSpec {
+	spec := ModelSpec{
+		Name:         name,
+		Modes:        c.Modes,
+		ForgetFactor: c.ForgetFactor,
+		Backend:      c.Backend.String(),
+		InitRank:     c.InitRank,
+	}
+	if c.LowRank {
+		spec.LowRank = &LowRankSpec{
+			Oversample: c.RLA.Oversample,
+			PowerIters: c.RLA.PowerIters,
+			Seed:       c.RLA.Seed,
+		}
+	}
+	return spec
+}
+
+// deleteModel unregisters a model, refuses its queued pushes and removes
+// its checkpoint so it does not resurrect on the next boot.
+func (s *Server) deleteModel(name string) error {
+	m, err := s.reg.remove(name)
+	if err != nil {
+		return err
+	}
+	m.shutdown(false)
+	if s.cfg.CheckpointDir != "" {
+		if err := os.Remove(m.checkpointPath()); err != nil && !os.IsNotExist(err) {
+			s.cfg.Logf("parsvd-serve: removing checkpoint of deleted model %s: %v", name, err)
+		}
+	}
+	return nil
+}
+
+// Handler returns the HTTP API. Mount it on any http.Server; the handler
+// enforces MaxBodyBytes and counts requests for /metrics.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Close is the graceful shutdown: every model drains and applies its
+// queued pushes, writes a final checkpoint (when persistence is on) and
+// releases its engine. Call it after the HTTP listener has stopped
+// accepting, so in-flight handlers have delivered their pushes to the
+// queues being flushed. Idempotent; model creation after (or racing)
+// Close is refused with ErrServerClosed, so no ingest loop outlives it.
+func (s *Server) Close() error {
+	s.stateMu.Lock()
+	if s.closed {
+		s.stateMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.stateMu.Unlock()
+	var wg sync.WaitGroup
+	for _, m := range s.reg.list() {
+		wg.Add(1)
+		go func(m *model) {
+			defer wg.Done()
+			m.shutdown(true)
+		}(m)
+	}
+	wg.Wait()
+	return nil
+}

@@ -1,0 +1,113 @@
+package server_test
+
+import (
+	"context"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"testing"
+
+	parsvd "goparsvd"
+	"goparsvd/server"
+	"goparsvd/server/client"
+)
+
+// TestServeSmoke is the CI serving gate (make serve-smoke): boot the
+// server on a random loopback port, create a model matching the
+// deterministic benchmark workload, stream the FromWorkload batches at it
+// through the typed client, and require the served spectrum to match an
+// in-process serial Fit of the same workload within 1e-12.
+func TestServeSmoke(t *testing.T) {
+	ctx := context.Background()
+	w := parsvd.DefaultWorkload()
+
+	// In-process reference: the facade fits the workload directly.
+	refOpts := []parsvd.Option{
+		parsvd.WithModes(w.K),
+		parsvd.WithForgetFactor(w.FF),
+		parsvd.WithInitRank(w.R1),
+	}
+	ref, err := parsvd.New(refOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSrc, err := parsvd.FromWorkload(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Fit(ctx, refSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Server on a random port, fed the identical batches over HTTP.
+	srv, err := server.New(server.Config{Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer func() {
+		httpSrv.Close()
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	}()
+
+	c := client.New("http://" + ln.Addr().String())
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateModel(ctx, server.ModelSpec{
+		Name:         "smoke",
+		Modes:        w.K,
+		ForgetFactor: w.FF,
+		InitRank:     w.R1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := parsvd.FromWorkload(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack server.PushAck
+	for {
+		b, err := src.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ack, err = c.Push(ctx, "smoke", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ack.Snapshots != w.Snapshots {
+		t.Fatalf("server ingested %d snapshots, want %d", ack.Snapshots, w.Snapshots)
+	}
+
+	got, err := c.Spectrum(ctx, "smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Singular) != len(want.Singular) {
+		t.Fatalf("served spectrum has %d values, want %d", len(got.Singular), len(want.Singular))
+	}
+	var maxDiff float64
+	for i := range want.Singular {
+		if d := math.Abs(got.Singular[i] - want.Singular[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-12 {
+		t.Fatalf("served spectrum deviates from the in-process run by %g, want <= 1e-12", maxDiff)
+	}
+	t.Logf("serve-smoke: %d snapshots over HTTP, spectrum max deviation %g", ack.Snapshots, maxDiff)
+}

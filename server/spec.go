@@ -1,0 +1,87 @@
+package server
+
+import (
+	"fmt"
+	"regexp"
+
+	parsvd "goparsvd"
+)
+
+// ModelSpec is the JSON shape of a model: a name plus the subset of the
+// parsvd functional options that make sense for a served, push-driven
+// decomposition. Zero-valued fields keep the parsvd defaults (K = 10,
+// forget factor 1.0, serial backend), exactly as omitting the
+// corresponding option in Go would.
+type ModelSpec struct {
+	// Name identifies the model in every URL and checkpoint file name:
+	// 1-64 characters of [A-Za-z0-9._-], starting alphanumeric.
+	Name string `json:"name"`
+	// Modes is K, the truncation rank (parsvd.WithModes).
+	Modes int `json:"modes,omitempty"`
+	// ForgetFactor is ff in (0, 1] (parsvd.WithForgetFactor).
+	ForgetFactor float64 `json:"forget_factor,omitempty"`
+	// Backend is "serial" (default) or "parallel". The distributed
+	// backend is rejected: it is driven by whole-workload Fit jobs and
+	// cannot Push, so it has no place on the ingest path.
+	Backend string `json:"backend,omitempty"`
+	// Ranks is the world size of the parallel backend (parsvd.WithRanks).
+	Ranks int `json:"ranks,omitempty"`
+	// InitRank is r1, the APMOS gather truncation (parsvd.WithInitRank).
+	InitRank int `json:"init_rank,omitempty"`
+	// LowRank, when present, turns on the randomized pipeline
+	// (parsvd.WithLowRank).
+	LowRank *LowRankSpec `json:"low_rank,omitempty"`
+}
+
+// LowRankSpec tunes the randomized SVD sketch (parsvd.RLA).
+type LowRankSpec struct {
+	Oversample int   `json:"oversample,omitempty"`
+	PowerIters int   `json:"power_iters,omitempty"`
+	Seed       int64 `json:"seed,omitempty"`
+}
+
+var modelNameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// validName reports whether a model name is acceptable as a URL path
+// segment and a checkpoint file stem.
+func validName(name string) bool { return modelNameRe.MatchString(name) }
+
+// options maps the spec onto parsvd functional options. Misconfiguration
+// is reported here or by parsvd.New — either way as an error the handler
+// turns into a 400, never a panic.
+func (sp *ModelSpec) options() ([]parsvd.Option, error) {
+	if !validName(sp.Name) {
+		return nil, fmt.Errorf("server: invalid model name %q: want 1-64 chars of [A-Za-z0-9._-], starting alphanumeric", sp.Name)
+	}
+	var opts []parsvd.Option
+	if sp.Modes != 0 {
+		opts = append(opts, parsvd.WithModes(sp.Modes))
+	}
+	if sp.ForgetFactor != 0 {
+		opts = append(opts, parsvd.WithForgetFactor(sp.ForgetFactor))
+	}
+	switch sp.Backend {
+	case "", parsvd.Serial.String():
+		// The parsvd default.
+	case parsvd.Parallel.String():
+		opts = append(opts, parsvd.WithBackend(parsvd.Parallel))
+	case parsvd.Distributed.String():
+		return nil, fmt.Errorf("server: the distributed backend is driven by whole-workload Fit jobs and cannot Push; serve a %q or %q model instead", parsvd.Serial, parsvd.Parallel)
+	default:
+		return nil, fmt.Errorf("server: unknown backend %q (want %q or %q)", sp.Backend, parsvd.Serial, parsvd.Parallel)
+	}
+	if sp.Ranks != 0 {
+		opts = append(opts, parsvd.WithRanks(sp.Ranks))
+	}
+	if sp.InitRank != 0 {
+		opts = append(opts, parsvd.WithInitRank(sp.InitRank))
+	}
+	if sp.LowRank != nil {
+		opts = append(opts, parsvd.WithLowRank(parsvd.RLA{
+			Oversample: sp.LowRank.Oversample,
+			PowerIters: sp.LowRank.PowerIters,
+			Seed:       sp.LowRank.Seed,
+		}))
+	}
+	return opts, nil
+}

@@ -1,0 +1,91 @@
+package parsvd_test
+
+import (
+	"bytes"
+	"testing"
+
+	parsvd "goparsvd"
+)
+
+func cloneTestMatrix(rows, cols int) *parsvd.Matrix {
+	m := parsvd.NewMatrix(rows, cols)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			m.Set(i, j, float64((i+1)*(j+2)%9)+0.5*float64(i))
+		}
+	}
+	return m
+}
+
+// TestResultCloneIndependence: a Clone shares no storage with its source
+// — mutating either side never shows through — and a nil Result clones
+// to nil.
+func TestResultCloneIndependence(t *testing.T) {
+	svd, err := parsvd.New(parsvd.WithModes(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svd.Push(cloneTestMatrix(12, 8)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := svd.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Clone()
+	if c == res || c.Modes == res.Modes || &c.Singular[0] == &res.Singular[0] {
+		t.Fatal("Clone returned aliased storage")
+	}
+	origMode, origSing := res.Modes.At(0, 0), res.Singular[0]
+	c.Modes.Set(0, 0, origMode+100)
+	c.Singular[0] = origSing + 100
+	if res.Modes.At(0, 0) != origMode || res.Singular[0] != origSing {
+		t.Fatal("mutating a Clone leaked into the source Result")
+	}
+	if c.Snapshots != res.Snapshots || c.Iterations != res.Iterations {
+		t.Fatal("Clone dropped scalar fields")
+	}
+	if (*parsvd.Result)(nil).Clone() != nil {
+		t.Fatal("nil Result must clone to nil")
+	}
+}
+
+// TestStatsIntrospection: Stats reports configuration and ingest counters
+// without gathering modes, and the counters survive a Save/Load round
+// trip.
+func TestStatsIntrospection(t *testing.T) {
+	svd, err := parsvd.New(parsvd.WithModes(4), parsvd.WithForgetFactor(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := svd.Stats(); st.Backend != parsvd.Serial || st.K != 4 || st.Ranks != 1 ||
+		st.Rows != 0 || st.Snapshots != 0 || st.Updates != 0 {
+		t.Fatalf("fresh Stats = %+v, want serial K=4 with zero counters", st)
+	}
+	if err := svd.Push(cloneTestMatrix(16, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := svd.Push(cloneTestMatrix(16, 3)); err != nil {
+		t.Fatal(err)
+	}
+	st := svd.Stats()
+	if st.Rows != 16 || st.Snapshots != 9 || st.Updates != 2 {
+		t.Fatalf("Stats after two pushes = %+v, want rows=16 snapshots=9 updates=2", st)
+	}
+
+	var buf bytes.Buffer
+	if err := svd.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := parsvd.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rst := restored.Stats()
+	if rst.Rows != 16 || rst.Snapshots != 9 || rst.K != 4 || rst.Backend != parsvd.Serial {
+		t.Fatalf("restored Stats = %+v, want rows=16 snapshots=9 K=4 serial", rst)
+	}
+	if rst.Updates == 0 {
+		t.Fatalf("restored Stats.Updates = 0, want a nonzero version counter")
+	}
+}
