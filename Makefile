@@ -5,7 +5,7 @@ GO ?= go
 # benchstat wants repeated samples; `make bench BENCH_COUNT=10` feeds it.
 BENCH_COUNT ?= 1
 
-.PHONY: check build test vet fmt race smoke serve-smoke examples examples-gate bench bench-gate bench-stream worker
+.PHONY: check build test vet fmt race smoke dist-smoke serve-smoke examples examples-gate bench bench-gate bench-stream worker fuzz-smoke
 
 check: build test vet fmt
 
@@ -37,6 +37,23 @@ smoke:
 
 worker:
 	$(GO) build -o bin/parsvd-worker ./cmd/parsvd-worker
+
+# Persistent-fleet smoke: a 4-rank worker fleet held open across the
+# whole deterministic workload, fed real snapshot batches over the wire
+# (stdin frames -> row scatter -> TCP collectives), must match the serial
+# reference within 1e-12. The launcher side runs under the race detector;
+# the cross-backend conformance + fault-injection suites ride along.
+dist-smoke:
+	CI=1 $(GO) test -race -count 1 -v \
+		-run 'TestDistributedWireSmoke|TestConformance|TestDistributedWorkerDeath|TestDistributedCloseReaps' .
+	CI=1 $(GO) test -race -count 1 -run 'TestSession' ./internal/launch
+
+# One pass over the committed fuzz seed corpora plus a short live fuzz of
+# the session frame/payload decoders (truncated frames, hostile lengths,
+# non-finite payloads must error, never panic).
+fuzz-smoke:
+	$(GO) test -run 'Fuzz|TestDecodeBlock|TestReadSessionFrame' ./internal/launch
+	$(GO) test -fuzz FuzzDecodeBlock -fuzztime 10s -run '^$$' ./internal/launch
 
 # Serving smoke: boot the HTTP server on a random port, create a model,
 # stream the deterministic FromWorkload batches at it through the typed

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"goparsvd/internal/core"
 	"goparsvd/internal/mat"
@@ -85,13 +86,21 @@ func (e *serialEngine) reconstruct(coeffs *mat.Dense) (*mat.Dense, error) {
 }
 
 // checkBatch validates a snapshot batch against the rows seen so far
-// (rows == 0 means no batch yet).
+// (rows == 0 means no batch yet). Non-finite values are rejected on
+// every backend — a NaN or Inf snapshot would silently corrupt the
+// running factorization — so code written against one backend behaves
+// identically on the others.
 func checkBatch(b *mat.Dense, rows int) error {
 	if b == nil || b.IsEmpty() {
 		return errors.New("parsvd: empty snapshot batch")
 	}
 	if rows != 0 && b.Rows() != rows {
 		return fmt.Errorf("parsvd: batch has %d rows, want %d", b.Rows(), rows)
+	}
+	for _, v := range b.RawData() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("parsvd: snapshot batch contains a non-finite value (%g)", v)
+		}
 	}
 	return nil
 }

@@ -15,8 +15,9 @@ var ErrBadCheckpoint = core.ErrBadCheckpoint
 // Load reconstructs a decomposition from a checkpoint written by Save (or
 // by the engine-level writer): a serial-backend SVD holding the global
 // modes, singular values and counters, ready to continue streaming with
-// Push or Fit. Checkpoints of parallel runs were gathered to global state
-// at Save time, so they load the same way.
+// Push or Fit. Checkpoints of parallel and distributed runs were gathered
+// to global state at Save time (for distributed runs, rank 0 of the
+// worker fleet assembled them), so they load the same way.
 func Load(r io.Reader) (*SVD, error) {
 	if r == nil {
 		return nil, errors.New("parsvd: Load with nil reader")

@@ -15,6 +15,14 @@
 // rank prints one "PARSVD-RESULT {json}" line on success. Logs go to
 // stderr. Exit status is nonzero if this rank — or, via the abort
 // protocol, any peer — fails.
+//
+// With -session the worker instead becomes one rank of a persistent,
+// sessionful world: stdin carries framed commands (INIT, PUSH with this
+// rank's row block of real snapshot data, SPECTRUM, MODES-SHA, STATS,
+// SAVE, SHUTDOWN) and stdout carries one framed reply per command — the
+// protocol behind the parsvd facade's Distributed backend and
+// internal/launch.Session. The workload flags are ignored in session
+// mode; the engine configuration arrives in the INIT frame.
 package main
 
 import (
@@ -36,6 +44,7 @@ func main() {
 	log.SetOutput(os.Stderr)
 
 	var (
+		session     = flag.Bool("session", false, "persistent session mode: framed commands on stdin, framed replies on stdout")
 		rank        = flag.Int("rank", 0, "this process's rank in [0, np)")
 		np          = flag.Int("np", 1, "world size (number of worker processes)")
 		rendezvous  = flag.String("rendezvous", "", "rank 0's address (required for rank > 0)")
@@ -56,6 +65,22 @@ func main() {
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("parsvd-worker[%d]: ", *rank))
+
+	if *session {
+		if err := runSession(*rank, *np, *listen, tcptransport.Options{
+			Rank:        *rank,
+			Size:        *np,
+			Rendezvous:  *rendezvous,
+			ListenAddr:  *listen,
+			Advertise:   *advertise,
+			DialTimeout: *dialTimeout,
+			IdleTimeout: *idleTimeout,
+		}); err != nil {
+			log.Fatalf("session failed: %v", err)
+		}
+		log.Printf("session done")
+		return
+	}
 
 	w := scaling.StreamWorkload{
 		RowsPerRank: *rowsPerRank,

@@ -85,41 +85,63 @@ func ExampleSVD_Fit_parallelBackend() {
 	// 5.0 3.0 2.0 1.0
 }
 
-// The distributed backend runs one OS process per rank over loopback TCP
-// on a deterministic workload, and reports the spectrum plus a bit-exact
-// fingerprint of the gathered modes.
-func ExampleSVD_Fit_distributedBackend() {
+// The distributed backend runs one OS process per rank over loopback
+// TCP as a persistent worker fleet: the first Push spawns it, every
+// batch of real snapshot data is row-scattered to it over the wire, and
+// it stays alive across pushes until Close. The result reports the
+// spectrum plus a bit-exact SHA-256 fingerprint of the gathered modes
+// (the matrix itself stays row-distributed in the workers); Save gathers
+// the global state into a checkpoint that Load resumes serially.
+func ExampleSVD_Push_distributedBackend() {
 	const ranks = 2
-	w := parsvd.DefaultWorkload()
-	w.RowsPerRank = 64
-	w.Snapshots = 24
-	w.InitBatch = 8
-	w.Batch = 8
-	w.K = 4
-	w.R1 = 8
-
 	svd, err := parsvd.New(
 		parsvd.WithBackend(parsvd.Distributed),
 		parsvd.WithRanks(ranks),
-		parsvd.WithModes(w.K),
-		parsvd.WithForgetFactor(w.FF),
-		parsvd.WithInitRank(w.R1),
+		parsvd.WithModes(4),
 	)
 	if err != nil {
 		panic(err)
 	}
-	src, err := parsvd.FromWorkload(w, ranks)
+	defer svd.Close() // shuts the worker fleet down
+
+	// Stream batches produced locally — a simulation loop, a file reader,
+	// an HTTP handler — into the fleet, one Push per batch.
+	a := plantedSnapshots()
+	for col := 0; col < a.Cols(); col += 2 {
+		if err := svd.Push(a.SliceCols(col, col+2)); err != nil {
+			panic(err)
+		}
+	}
+
+	res, err := svd.Result()
 	if err != nil {
 		panic(err)
 	}
-	res, err := svd.Fit(context.Background(), src)
+	fmt.Printf("snapshots: %d, updates: %d, fingerprinted: %v\n",
+		res.Snapshots, res.Iterations, res.ModesSHA256 != "")
+	for i, s := range res.Singular {
+		if i > 0 {
+			fmt.Print(" ")
+		}
+		fmt.Printf("%.1f", s)
+	}
+	fmt.Println()
+
+	// Save gathers the fleet's row blocks at rank 0 into one global
+	// checkpoint; Load resumes it (serially) anywhere.
+	var ckpt bytes.Buffer
+	if err := svd.Save(&ckpt); err != nil {
+		panic(err)
+	}
+	restored, err := parsvd.Load(&ckpt)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("snapshots: %d, updates: %d, modes: %d, fingerprinted: %v\n",
-		res.Snapshots, res.Iterations, len(res.Singular), res.ModesSHA256 != "")
+	fmt.Println("restored rows:", restored.Stats().Rows)
 	// Output:
-	// snapshots: 24, updates: 2, modes: 4, fingerprinted: true
+	// snapshots: 4, updates: 1, fingerprinted: true
+	// 5.0 3.0 2.0 1.0
+	// restored rows: 6
 }
 
 // Push is the incremental alternative to Fit, and Save/Load round-trip

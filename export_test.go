@@ -1,0 +1,30 @@
+package parsvd
+
+// Test-only seams. This file compiles into the parsvd test binary only,
+// so the public surface stays exactly what parsvd.go declares.
+
+import "time"
+
+// DistWorkerPIDs exposes the Distributed backend's worker process IDs in
+// rank order (fault-injection tests kill individual ranks). It returns
+// nil before the first batch has spawned the fleet, or for other
+// backends.
+func DistWorkerPIDs(s *SVD) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.eng.(*distEngine); ok && d.sess != nil {
+		return d.sess.WorkerPIDs()
+	}
+	return nil
+}
+
+// DistSetDeadline drives the Distributed backend's deadline seam
+// directly (Fit normally owns it), so tests can pin the pre-wire
+// refusal behavior deterministically.
+func DistSetDeadline(s *SVD, t time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.eng.(*distEngine); ok {
+		d.setDeadline(t)
+	}
+}

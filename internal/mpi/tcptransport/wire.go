@@ -59,6 +59,16 @@ func appendFrameHeader(buf []byte, kind byte, bodyLen int) []byte {
 // appendData appends a complete data frame carrying m.
 func appendData(buf []byte, m mpi.Message) []byte {
 	buf = appendFrameHeader(buf, kindData, dataHeaderLen+8*len(m.Data))
+	return AppendMessageBody(buf, m)
+}
+
+// AppendMessageBody appends the body of a data frame — tag, dims, count,
+// then the float64 payload as IEEE-754 little-endian bit patterns. It is
+// exported so other launcher↔worker protocols (the internal/launch session
+// protocol carrying snapshot blocks over worker stdin) share the exact
+// framing that makes matrices round-trip bit-for-bit, including NaNs,
+// infinities and signed zeros.
+func AppendMessageBody(buf []byte, m mpi.Message) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(m.Tag)))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(m.Rows)))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(m.Cols)))
@@ -70,7 +80,13 @@ func appendData(buf []byte, m mpi.Message) []byte {
 }
 
 // decodeData parses the body of a data frame.
-func decodeData(body []byte) (mpi.Message, error) {
+func decodeData(body []byte) (mpi.Message, error) { return DecodeMessageBody(body) }
+
+// DecodeMessageBody parses a data-frame body produced by
+// AppendMessageBody. The declared float count is validated against the
+// bytes actually present before any allocation, so a corrupt or hostile
+// length can neither over-allocate nor panic.
+func DecodeMessageBody(body []byte) (mpi.Message, error) {
 	if len(body) < dataHeaderLen {
 		return mpi.Message{}, fmt.Errorf("tcptransport: data frame truncated (%d bytes)", len(body))
 	}
@@ -79,10 +95,15 @@ func decodeData(body []byte) (mpi.Message, error) {
 		Rows: int(int64(binary.LittleEndian.Uint64(body[8:]))),
 		Cols: int(int64(binary.LittleEndian.Uint64(body[16:]))),
 	}
+	// Overflow-safe count check: divide the payload instead of
+	// multiplying the (attacker-controlled) count — 8·n wraps uint64 for
+	// n ≥ 2^61 and could otherwise alias a small payload length, driving
+	// make() below into a huge allocation or a panic.
 	n := binary.LittleEndian.Uint64(body[24:])
-	if uint64(len(body)-dataHeaderLen) != 8*n {
+	payload := len(body) - dataHeaderLen
+	if payload%8 != 0 || n != uint64(payload/8) {
 		return mpi.Message{}, fmt.Errorf("tcptransport: data frame declares %d floats, carries %d bytes",
-			n, len(body)-dataHeaderLen)
+			n, payload)
 	}
 	if n > 0 {
 		m.Data = make([]float64, n)

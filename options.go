@@ -22,7 +22,9 @@ const (
 	Parallel
 	// Distributed runs the same parallel algorithm with one OS process
 	// per rank over loopback TCP (cmd/parsvd-worker), supervised by this
-	// process. It is driven by Fit with a FromWorkload source.
+	// process as a persistent, sessionful worker fleet: every Push (or
+	// Fit batch) is row-scattered to the workers over the wire, and
+	// spectrum, modes fingerprint and checkpoints come back the same way.
 	Distributed
 )
 
@@ -52,9 +54,11 @@ type TransportConfig struct {
 	// PARSVD_WORKER environment variable, a sibling of the running
 	// executable, PATH, and finally `go build` inside a module checkout.
 	WorkerBin string
-	// Timeout bounds the whole multi-process run, rendezvous included.
-	// Zero means 5 minutes. A Fit context with an earlier deadline
-	// tightens it further.
+	// Timeout bounds each session operation round trip — fleet startup
+	// (rendezvous and fabric establishment), one batch scatter, one
+	// gather, the shutdown drain. Zero means 2 minutes. It is what reaps
+	// a wedged fleet: an operation that exceeds it kills the workers and
+	// permanently fails the SVD with ErrEngineFailed.
 	Timeout time.Duration
 	// IdleTimeout is the workers' failure-detection window. Zero keeps
 	// the worker default.
@@ -70,9 +74,7 @@ type Option func(*config) error
 
 type config struct {
 	k        int
-	kSet     bool
 	ff       float64
-	ffSet    bool
 	lowRank  bool
 	rlaOpts  rla.Options
 	backend  Backend
@@ -98,7 +100,6 @@ func WithModes(k int) Option {
 			return fmt.Errorf("parsvd: WithModes(%d): K must be >= 1", k)
 		}
 		c.k = k
-		c.kSet = true
 		return nil
 	}
 }
@@ -112,7 +113,6 @@ func WithForgetFactor(ff float64) Option {
 			return fmt.Errorf("parsvd: WithForgetFactor(%g): forget factor must be in (0, 1]", ff)
 		}
 		c.ff = ff
-		c.ffSet = true
 		return nil
 	}
 }
@@ -189,8 +189,9 @@ func WithTransport(t TransportConfig) Option {
 }
 
 // WithCheckpoint arranges for Fit to serialize the final streaming state
-// to w (the same format as Save) after its source drains. The
-// Distributed backend cannot checkpoint.
+// to w (the same format as Save) after its source drains. On the
+// Distributed backend the checkpoint is gathered from the worker fleet
+// (rank 0 assembles the global state), like Save.
 func WithCheckpoint(w io.Writer) Option {
 	return func(c *config) error {
 		if w == nil {
@@ -218,41 +219,10 @@ func (c *config) validate() error {
 	if c.transportSet && c.backend != Distributed {
 		return fmt.Errorf("parsvd: WithTransport only applies to the Distributed backend, not %v", c.backend)
 	}
-	if c.checkpoint != nil && c.backend == Distributed {
-		return fmt.Errorf("parsvd: WithCheckpoint is not supported by the Distributed backend; its state lives in worker processes")
-	}
 	// The engine layers re-validate, but through the error-returning
 	// path: nothing a misconfigured New can reach panics.
 	if err := c.coreOptions().Validate(); err != nil {
 		return fmt.Errorf("parsvd: %w", err)
-	}
-	return nil
-}
-
-// checkWorkload cross-checks the facade options against a Workload
-// destined for the Distributed backend. Workers derive K, ff, r1 and the
-// randomization settings from the Workload itself, so any explicitly-set
-// facade option that contradicts it would be silently discarded — make
-// that an error instead. Options left at their defaults simply adopt the
-// workload's values.
-func (c *config) checkWorkload(w Workload) error {
-	if c.kSet && c.k != w.K {
-		return fmt.Errorf("parsvd: WithModes(%d) contradicts the workload's K = %d; the distributed workers run the workload's settings", c.k, w.K)
-	}
-	if c.ffSet && c.ff != w.FF {
-		return fmt.Errorf("parsvd: WithForgetFactor(%g) contradicts the workload's FF = %g", c.ff, w.FF)
-	}
-	if c.lowRank && !w.LowRank {
-		return fmt.Errorf("parsvd: WithLowRank was set but the workload runs the dense pipeline; set Workload.LowRank")
-	}
-	if c.r1 != 0 && c.r1 != w.R1 {
-		return fmt.Errorf("parsvd: WithInitRank(%d) contradicts the workload's R1 = %d", c.r1, w.R1)
-	}
-	if w.LowRank && !c.rlaOpts.IsZero() {
-		want := rla.Options{Oversample: 10, PowerIters: 1, Seed: w.Seed}
-		if c.rlaOpts != want {
-			return fmt.Errorf("parsvd: WithLowRank sketch settings %+v contradict the workload's %+v (the workload pins its own seed)", c.rlaOpts, want)
-		}
 	}
 	return nil
 }

@@ -28,7 +28,9 @@
 //     distributed initialization (paper default 50).
 //   - WithBackend selects the execution mode: Serial is ParSVD_Serial,
 //     Parallel is ParSVD_Parallel over in-process goroutine ranks, and
-//     Distributed runs one OS process per rank over loopback TCP.
+//     Distributed runs ParSVD_Parallel with one OS process per rank over
+//     loopback TCP — a persistent worker fleet fed real snapshot data
+//     over the wire, interchangeable with the other two backends.
 //   - WithRanks(n) is the MPI world size for the non-serial backends.
 //
 // Data enters through the Source abstraction — an in-memory matrix
@@ -46,6 +48,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"goparsvd/internal/mat"
 )
@@ -63,8 +66,9 @@ import (
 type Result struct {
 	// Modes is the full M×K matrix of truncated left singular vectors
 	// (the POD modes), assembled across ranks for the parallel backend.
-	// It is nil for the Distributed backend, whose modes live in worker
-	// processes; ModesSHA256 fingerprints them instead.
+	// It is nil for the Distributed backend, whose modes live
+	// row-distributed in worker processes; ModesSHA256 fingerprints them
+	// instead, and Save gathers them into a checkpoint.
 	Modes *Matrix
 	// Singular holds the truncated singular values in descending order.
 	Singular []float64
@@ -155,8 +159,15 @@ type Stats struct {
 	Bytes    int64
 }
 
-// engine is the backend-side contract behind SVD for the backends that
-// hold streaming state in this process (Serial and Parallel).
+// engine is the backend-side contract behind SVD. Serial and Parallel
+// hold their streaming state in this process; Distributed holds it in a
+// persistent worker fleet behind the same five operations.
+//
+// deadlineAware is the optional extension Fit uses to map a context
+// deadline onto an engine whose operations block on external processes.
+type deadlineAware interface {
+	setDeadline(t time.Time)
+}
 type engine interface {
 	push(b *mat.Dense) error
 	result() (*Result, error)
@@ -170,18 +181,18 @@ type engine interface {
 
 // SVD is a handle on one streaming decomposition. Construct it with New,
 // feed it through Fit or Push, read it through Result, persist it with
-// Save. A Distributed SVD is driven exclusively through Fit.
+// Save. Every backend — Serial, Parallel and Distributed — is driven
+// through the same surface; a Distributed SVD lazily spawns its worker
+// fleet on the first batch and keeps it alive until Close.
 //
 // Methods on SVD are safe for use from a single goroutine; concurrent
 // calls are serialized internally.
 type SVD struct {
 	cfg config
 
-	mu      sync.Mutex
-	eng     engine // nil for the Distributed backend
-	distRes *Result
-	distSts Stats
-	closed  bool
+	mu     sync.Mutex
+	eng    engine
+	closed bool
 
 	// Ingest counters surfaced by Stats without touching the engine.
 	rows      int
@@ -213,7 +224,8 @@ func New(opts ...Option) (*SVD, error) {
 	case Parallel:
 		s.eng = newParallelEngine(cfg.coreOptions(), cfg.ranks)
 	case Distributed:
-		// No in-process engine: Fit launches one worker process per rank.
+		// The worker fleet spawns lazily on the first batch.
+		s.eng = newDistEngine(cfg)
 	}
 	return s, nil
 }
@@ -232,8 +244,9 @@ func (s *SVD) Ranks() int { return s.cfg.ranks }
 // configured (WithCheckpoint), the final state is saved to it after the
 // source drains.
 //
-// For the Distributed backend src must come from FromWorkload; the
-// deterministic workload is replayed inside every worker process.
+// Every backend accepts every Source: the Distributed backend scatters
+// each batch's rows across its worker fleet over the wire, exactly as the
+// Parallel backend scatters them across its rank goroutines.
 func (s *SVD) Fit(ctx context.Context, src Source) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -249,8 +262,14 @@ func (s *SVD) Fit(ctx context.Context, src Source) (*Result, error) {
 	if s.closed {
 		return nil, errors.New("parsvd: Fit on closed SVD")
 	}
-	if s.cfg.backend == Distributed {
-		return s.fitDistributed(ctx, src)
+	// A context deadline must bound the Distributed backend's wire
+	// operations, not just the between-batch checks below: map it onto
+	// the engine's per-operation cap for the duration of this Fit.
+	if dl, ok := ctx.Deadline(); ok {
+		if da, ok := s.eng.(deadlineAware); ok {
+			da.setDeadline(dl)
+			defer da.setDeadline(time.Time{})
+		}
 	}
 	for {
 		if err := ctx.Err(); err != nil {
@@ -264,11 +283,21 @@ func (s *SVD) Fit(ctx context.Context, src Source) (*Result, error) {
 			return nil, fmt.Errorf("parsvd: source: %w", err)
 		}
 		if err := s.pushLocked(b); err != nil {
+			// A push that failed because the context expired mid-wire
+			// reports the context error, like any other ctx-aware API.
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
 			return nil, err
 		}
 	}
 	res, err := s.eng.result()
 	if err != nil {
+		// A gather refused because the deadline expired after the last
+		// batch reports the context error, not a backend detail.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, err
 	}
 	if s.cfg.checkpoint != nil {
@@ -281,16 +310,14 @@ func (s *SVD) Fit(ctx context.Context, src Source) (*Result, error) {
 
 // Push ingests one snapshot batch (M×B): the first call seeds the
 // decomposition, later calls stream. It is the incremental alternative to
-// Fit for callers that produce batches themselves. The Distributed
-// backend does not support Push — its state lives in worker processes.
+// Fit for callers that produce batches themselves. On the Distributed
+// backend the first Push spawns the persistent worker fleet and every
+// batch is row-scattered to it over the wire.
 func (s *SVD) Push(batch *Matrix) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return errors.New("parsvd: Push on closed SVD")
-	}
-	if s.cfg.backend == Distributed {
-		return errors.New("parsvd: the Distributed backend is driven by Fit with a FromWorkload source; Push is not supported")
 	}
 	return s.pushLocked(batch)
 }
@@ -318,12 +345,6 @@ func (s *SVD) Result() (*Result, error) {
 	if s.closed {
 		return nil, errors.New("parsvd: Result on closed SVD")
 	}
-	if s.cfg.backend == Distributed {
-		if s.distRes == nil {
-			return nil, errors.New("parsvd: no distributed run completed yet; call Fit first")
-		}
-		return s.distRes.Clone(), nil
-	}
 	return s.eng.result()
 }
 
@@ -341,10 +362,6 @@ func (s *SVD) Stats() Stats {
 		Snapshots: s.snapshots,
 		Updates:   s.updates,
 	}
-	if s.cfg.backend == Distributed {
-		st.Messages, st.Bytes = s.distSts.Messages, s.distSts.Bytes
-		return st
-	}
 	if s.eng != nil {
 		es := s.eng.stats()
 		st.Messages, st.Bytes = es.Messages, es.Bytes
@@ -354,10 +371,10 @@ func (s *SVD) Stats() Stats {
 
 // Save serializes the full streaming state — options, global modes,
 // singular values, counters — in the goparsvd checkpoint format readable
-// by Load. For the parallel backend the per-rank slices are gathered
-// first, so the checkpoint always holds the global state and can be
-// resumed serially. The Distributed backend cannot Save (its state lives
-// in worker processes).
+// by Load. For the parallel and distributed backends the per-rank slices
+// are gathered first (for Distributed, rank 0 of the worker fleet
+// assembles the checkpoint and ships it back over the wire), so the
+// checkpoint always holds the global state and can be resumed serially.
 func (s *SVD) Save(w io.Writer) error {
 	if w == nil {
 		return errors.New("parsvd: Save with nil writer")
@@ -366,9 +383,6 @@ func (s *SVD) Save(w io.Writer) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return errors.New("parsvd: Save on closed SVD")
-	}
-	if s.cfg.backend == Distributed {
-		return errors.New("parsvd: the Distributed backend cannot Save; its state lives in worker processes")
 	}
 	return s.eng.save(w, nil)
 }

@@ -12,6 +12,7 @@ import (
 
 	parsvd "goparsvd"
 
+	"goparsvd/internal/launch"
 	"goparsvd/internal/mat"
 	"goparsvd/internal/ncio"
 	"goparsvd/internal/testutil"
@@ -37,8 +38,6 @@ func TestNewRejectsInvalidOptions(t *testing.T) {
 		"two rla configs":       {parsvd.WithLowRank(parsvd.RLA{}, parsvd.RLA{})},
 		"transport on serial":   {parsvd.WithTransport(parsvd.TransportConfig{})},
 		"transport on parallel": {parsvd.WithBackend(parsvd.Parallel), parsvd.WithTransport(parsvd.TransportConfig{})},
-		"checkpoint on distributed": {
-			parsvd.WithBackend(parsvd.Distributed), parsvd.WithCheckpoint(io.Discard)},
 		"negative transport timeout": {
 			parsvd.WithBackend(parsvd.Distributed), parsvd.WithTransport(parsvd.TransportConfig{Timeout: -1})},
 	}
@@ -374,54 +373,34 @@ func TestFromNetCDF(t *testing.T) {
 	}
 }
 
-// TestDistributedRejectsWrongUsage: Push and arbitrary sources are
-// compile-time-valid but runtime-rejected on the Distributed backend.
+// TestDistributedRejectsWrongUsage: the operations that remain invalid on
+// the Distributed backend — reads before any data, batches too short to
+// scatter, projection utilities — are errors caught before a single
+// worker process is spawned, and they do not poison the SVD.
 func TestDistributedRejectsWrongUsage(t *testing.T) {
-	svd, err := parsvd.New(parsvd.WithBackend(parsvd.Distributed), parsvd.WithRanks(2))
+	svd, err := parsvd.New(parsvd.WithBackend(parsvd.Distributed), parsvd.WithRanks(4))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer svd.Close()
 	rng := testutil.NewRand(11)
-	if err := svd.Push(testutil.RandomDense(4, 2, rng)); err == nil {
-		t.Fatal("Push on Distributed did not error")
-	}
-	if _, err := svd.Fit(context.Background(),
-		parsvd.FromMatrix(testutil.RandomDense(4, 2, rng), 1)); err == nil {
-		t.Fatal("Fit with a non-workload source did not error")
+	if _, err := svd.Result(); err == nil {
+		t.Fatal("Result before any data did not error")
 	}
 	if err := svd.Save(io.Discard); err == nil {
-		t.Fatal("Save on Distributed did not error")
+		t.Fatal("Save before any data did not error")
 	}
-	if _, err := svd.Result(); err == nil {
-		t.Fatal("Result before any distributed run did not error")
+	// 2 rows cannot be row-scattered across 4 ranks.
+	if err := svd.Push(testutil.RandomDense(2, 3, rng)); err == nil {
+		t.Fatal("Push with fewer rows than ranks did not error")
 	}
-}
-
-// TestDistributedRejectsContradictoryOptions: facade options that the
-// workload-driven workers would silently discard are errors instead;
-// options left at their defaults adopt the workload's values.
-func TestDistributedRejectsContradictoryOptions(t *testing.T) {
-	w := parsvd.DefaultWorkload() // K=8, FF=0.95, dense pipeline
-	src, err := parsvd.FromWorkload(w, 2)
-	if err != nil {
-		t.Fatal(err)
+	if _, err := svd.Coefficients(testutil.RandomDense(4, 2, rng)); err == nil {
+		t.Fatal("Coefficients on Distributed did not error")
 	}
-	for name, opts := range map[string][]parsvd.Option{
-		"modes":     {parsvd.WithModes(20)},
-		"ff":        {parsvd.WithForgetFactor(1.0)},
-		"lowrank":   {parsvd.WithLowRank()},
-		"init rank": {parsvd.WithInitRank(99)},
-	} {
-		t.Run(name, func(t *testing.T) {
-			svd, err := parsvd.New(append(opts,
-				parsvd.WithBackend(parsvd.Distributed), parsvd.WithRanks(2))...)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if _, err := svd.Fit(context.Background(), src); err == nil {
-				t.Fatalf("contradictory %s option was silently discarded", name)
-			}
-		})
+	// None of the rejections above may have poisoned the handle.
+	if err := svd.Push(testutil.RandomDense(2, 3, rng)); err == nil ||
+		errors.Is(err, parsvd.ErrEngineFailed) {
+		t.Fatalf("second rejected Push: %v, want a plain validation error", err)
 	}
 }
 
@@ -447,6 +426,7 @@ func TestDistributedMatchesParallel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer dist.Close()
 	src, err := parsvd.FromWorkload(w, ranks)
 	if err != nil {
 		t.Fatal(err)
@@ -481,5 +461,10 @@ func TestDistributedMatchesParallel(t *testing.T) {
 	}
 	if !testutil.CloseSlices(dres.Singular, pres.Singular, 0) {
 		t.Fatalf("TCP and in-process spectra differ:\n%v\n%v", dres.Singular, pres.Singular)
+	}
+	// The wire-fed fleet and the in-process rank world ran the identical
+	// split of the identical batches: the gathered modes agree bit for bit.
+	if want := launch.HashModes(pres.Modes); dres.ModesSHA256 != want {
+		t.Fatalf("distributed modes hash %s differs from the parallel backend's %s", dres.ModesSHA256, want)
 	}
 }

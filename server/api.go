@@ -79,11 +79,16 @@ type PushAck struct {
 	Version   uint64 `json:"version"`
 }
 
-// SpectrumResponse carries the singular values of the current View.
+// SpectrumResponse carries the singular values of the current View. For
+// distributed models ModesSHA256 additionally fingerprints the gathered
+// mode matrix (dims plus row-major IEEE-754 bits), so clients can verify
+// a served model bit-for-bit against a reference run without shipping
+// the matrix.
 type SpectrumResponse struct {
-	Singular  []float64 `json:"singular"`
-	Version   uint64    `json:"version"`
-	Snapshots int       `json:"snapshots"`
+	Singular    []float64 `json:"singular"`
+	Version     uint64    `json:"version"`
+	Snapshots   int       `json:"snapshots"`
+	ModesSHA256 string    `json:"modes_sha256,omitempty"`
 }
 
 // ModesResponse carries the M×K mode matrix of the current View.
@@ -266,9 +271,10 @@ func (s *Server) handleSpectrum(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SpectrumResponse{
-		Singular:  v.Result.Singular,
-		Version:   v.Version,
-		Snapshots: v.Result.Snapshots,
+		Singular:    v.Result.Singular,
+		Version:     v.Version,
+		Snapshots:   v.Result.Snapshots,
+		ModesSHA256: v.Result.ModesSHA256,
 	})
 }
 
@@ -281,10 +287,25 @@ func (s *Server) handleModes(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	modes, ok := modesOf(w, v)
+	if !ok {
+		return
+	}
 	writeJSON(w, http.StatusOK, ModesResponse{
-		Modes:   NewMatrixJSON(v.Result.Modes),
+		Modes:   NewMatrixJSON(modes),
 		Version: v.Version,
 	})
+}
+
+// modesOf extracts the view's mode matrix, reporting ErrNoModes for
+// models whose modes live out of process (the distributed backend ships
+// a fingerprint, not the matrix).
+func modesOf(w http.ResponseWriter, v *View) (*parsvd.Matrix, bool) {
+	if v.Result.Modes == nil {
+		writeError(w, ErrNoModes)
+		return nil, false
+	}
+	return v.Result.Modes, true
 }
 
 // handleStats serves counters from the last published stats snapshot plus
@@ -309,6 +330,10 @@ func (s *Server) handleProject(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	modes, ok := modesOf(w, v)
+	if !ok {
+		return
+	}
 	var mj MatrixJSON
 	if !decodeJSON(w, r, &mj) {
 		return
@@ -318,7 +343,6 @@ func (s *Server) handleProject(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	modes := v.Result.Modes
 	if a.Rows() != modes.Rows() {
 		writeError(w, fmt.Errorf("server: project needs %d-row snapshots, got %d", modes.Rows(), a.Rows()))
 		return
@@ -337,6 +361,10 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	modes, ok := modesOf(w, v)
+	if !ok {
+		return
+	}
 	var mj MatrixJSON
 	if !decodeJSON(w, r, &mj) {
 		return
@@ -346,7 +374,6 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	modes := v.Result.Modes
 	if c.Rows() != modes.Cols() {
 		writeError(w, fmt.Errorf("server: reconstruct needs %d-row coefficients, got %d", modes.Cols(), c.Rows()))
 		return

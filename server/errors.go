@@ -28,6 +28,11 @@ var (
 	// ErrNoData reports a read from a model that has not ingested any
 	// snapshot batch yet, so no view has been published.
 	ErrNoData = errors.New("server: model has no data yet")
+	// ErrNoModes reports a modes/project/reconstruct request against a
+	// model that serves no mode matrix: a distributed model's modes live
+	// row-distributed in its worker processes (the view carries their
+	// SHA-256 fingerprint instead), and only a checkpoint gathers them.
+	ErrNoModes = errors.New("server: model serves no mode matrix (distributed backend); read the spectrum, stats or a checkpoint instead")
 )
 
 // StatusClientClosedRequest is the non-standard 499 status (nginx
@@ -52,7 +57,7 @@ func httpStatus(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrModelClosed), errors.Is(err, ErrServerClosed):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, ErrNoData):
+	case errors.Is(err, ErrNoData), errors.Is(err, ErrNoModes):
 		return http.StatusConflict
 	case errors.Is(err, parsvd.ErrEngineFailed):
 		// A permanently failed engine (rank panic, aborted collective) is

@@ -71,10 +71,24 @@ func TestModelLifecycle(t *testing.T) {
 	// Validation failures at create time.
 	_, err := c.CreateModel(ctx, server.ModelSpec{Name: "no/slashes"})
 	wantStatus(t, err, http.StatusBadRequest)
-	_, err = c.CreateModel(ctx, server.ModelSpec{Name: "dist", Backend: "distributed"})
+	_, err = c.CreateModel(ctx, server.ModelSpec{Name: "bogus", Backend: "quantum"})
 	wantStatus(t, err, http.StatusBadRequest)
 	_, err = c.CreateModel(ctx, server.ModelSpec{Name: "badff", ForgetFactor: 1.5})
 	wantStatus(t, err, http.StatusBadRequest)
+
+	// A distributed model registers like any other (its worker fleet
+	// spawns lazily on the first push); it lists, reports stats and
+	// deletes cleanly without ever having ingested data.
+	distInfo, err := c.CreateModel(ctx, server.ModelSpec{Name: "dist", Backend: "distributed", Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distInfo.Stats.Backend != "distributed" || distInfo.Stats.Ranks != 2 {
+		t.Fatalf("distributed model info %+v, want distributed ranks=2", distInfo.Stats)
+	}
+	if err := c.DeleteModel(ctx, "dist"); err != nil {
+		t.Fatal(err)
+	}
 
 	info, err := c.CreateModel(ctx, server.ModelSpec{Name: "a", Modes: 3})
 	if err != nil {

@@ -20,11 +20,15 @@ type ModelSpec struct {
 	Modes int `json:"modes,omitempty"`
 	// ForgetFactor is ff in (0, 1] (parsvd.WithForgetFactor).
 	ForgetFactor float64 `json:"forget_factor,omitempty"`
-	// Backend is "serial" (default) or "parallel". The distributed
-	// backend is rejected: it is driven by whole-workload Fit jobs and
-	// cannot Push, so it has no place on the ingest path.
+	// Backend is "serial" (default), "parallel" (in-process rank
+	// goroutines) or "distributed" (a persistent fleet of one worker OS
+	// process per rank; pushes are row-scattered to it over the wire).
+	// Distributed models serve spectrum, stats and checkpoints like the
+	// others, but no mode matrix — the modes live row-distributed in the
+	// worker processes and are only gathered for checkpoints.
 	Backend string `json:"backend,omitempty"`
-	// Ranks is the world size of the parallel backend (parsvd.WithRanks).
+	// Ranks is the world size of the parallel and distributed backends
+	// (parsvd.WithRanks).
 	Ranks int `json:"ranks,omitempty"`
 	// InitRank is r1, the APMOS gather truncation (parsvd.WithInitRank).
 	InitRank int `json:"init_rank,omitempty"`
@@ -66,9 +70,10 @@ func (sp *ModelSpec) options() ([]parsvd.Option, error) {
 	case parsvd.Parallel.String():
 		opts = append(opts, parsvd.WithBackend(parsvd.Parallel))
 	case parsvd.Distributed.String():
-		return nil, fmt.Errorf("server: the distributed backend is driven by whole-workload Fit jobs and cannot Push; serve a %q or %q model instead", parsvd.Serial, parsvd.Parallel)
+		opts = append(opts, parsvd.WithBackend(parsvd.Distributed))
 	default:
-		return nil, fmt.Errorf("server: unknown backend %q (want %q or %q)", sp.Backend, parsvd.Serial, parsvd.Parallel)
+		return nil, fmt.Errorf("server: unknown backend %q (want %q, %q or %q)",
+			sp.Backend, parsvd.Serial, parsvd.Parallel, parsvd.Distributed)
 	}
 	if sp.Ranks != 0 {
 		opts = append(opts, parsvd.WithRanks(sp.Ranks))

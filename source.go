@@ -202,10 +202,10 @@ func (s *netcdfSource) Close() error {
 // FromWorkload serves the deterministic benchmark workload as a Source:
 // an InitBatch-column seed batch followed by Batch-column streaming
 // batches of the analytic Burgers snapshot matrix with RowsPerRank·ranks
-// rows. It is the only Source the Distributed backend accepts (the
-// workers replay it locally), and the Serial and Parallel backends
-// consume the identical batches, so one Source definition drives all
-// three execution modes on bit-identical data.
+// rows. All three backends consume the identical batches — the
+// Distributed backend row-scatters them to its worker fleet over the
+// wire — so one Source definition drives every execution mode on
+// bit-identical data.
 func FromWorkload(w Workload, ranks int) (Source, error) {
 	if ranks < 1 {
 		return nil, fmt.Errorf("parsvd: FromWorkload ranks %d < 1", ranks)

@@ -2,6 +2,7 @@ package parsvd_test
 
 import (
 	"bytes"
+	"os"
 	"testing"
 
 	parsvd "goparsvd"
@@ -87,5 +88,59 @@ func TestStatsIntrospection(t *testing.T) {
 	}
 	if rst.Updates == 0 {
 		t.Fatalf("restored Stats.Updates = 0, want a nonzero version counter")
+	}
+}
+
+// TestStatsDistributedIntrospection: a distributed run reports the full
+// serving introspection — configuration echo, Rows/Snapshots/Updates from
+// the live session world, wire traffic — not just the traffic counters,
+// and the ingest counters survive a Save/Load round trip (which resumes
+// serially from the gathered state).
+func TestStatsDistributedIntrospection(t *testing.T) {
+	if testing.Short() && os.Getenv("CI") == "" {
+		t.Skip("short mode: skipping multi-process run")
+	}
+	svd, err := parsvd.New(parsvd.WithModes(4), parsvd.WithForgetFactor(0.9),
+		parsvd.WithBackend(parsvd.Distributed), parsvd.WithRanks(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svd.Close()
+
+	// Before any data: configuration only, every counter zero — and no
+	// worker fleet has been spawned to answer it.
+	if st := svd.Stats(); st.Backend != parsvd.Distributed || st.K != 4 || st.Ranks != 2 ||
+		st.Rows != 0 || st.Snapshots != 0 || st.Updates != 0 || st.Messages != 0 || st.Bytes != 0 {
+		t.Fatalf("fresh distributed Stats = %+v, want configuration with zero counters", st)
+	}
+
+	if err := svd.Push(cloneTestMatrix(16, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := svd.Push(cloneTestMatrix(16, 3)); err != nil {
+		t.Fatal(err)
+	}
+	st := svd.Stats()
+	if st.Rows != 16 || st.Snapshots != 9 || st.Updates != 2 {
+		t.Fatalf("distributed Stats after two pushes = %+v, want rows=16 snapshots=9 updates=2", st)
+	}
+	if st.Messages == 0 || st.Bytes == 0 {
+		t.Fatalf("distributed Stats carries no wire traffic: %+v", st)
+	}
+
+	var buf bytes.Buffer
+	if err := svd.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := parsvd.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rst := restored.Stats()
+	if rst.Rows != 16 || rst.Snapshots != 9 || rst.K != 4 || rst.Backend != parsvd.Serial {
+		t.Fatalf("restored Stats = %+v, want rows=16 snapshots=9 K=4 serial", rst)
+	}
+	if rst.Updates == 0 {
+		t.Fatal("restored Stats.Updates = 0, want a nonzero version counter")
 	}
 }
