@@ -5,7 +5,7 @@ GO ?= go
 # benchstat wants repeated samples; `make bench BENCH_COUNT=10` feeds it.
 BENCH_COUNT ?= 1
 
-.PHONY: check build test vet fmt race smoke dist-smoke serve-smoke examples examples-gate bench bench-gate bench-stream worker fuzz-smoke
+.PHONY: check build test vet fmt race smoke dist-smoke serve-smoke crash-smoke examples examples-gate bench bench-gate bench-stream worker fuzz-smoke
 
 check: build test vet fmt
 
@@ -63,6 +63,15 @@ fuzz-smoke:
 serve-smoke:
 	$(GO) test -run 'TestServeSmoke' -v -count 1 ./server
 	$(GO) test -race -count 1 ./server/...
+
+# Crash-recovery gate: a real parsvd-serve process is SIGKILLed mid-stream
+# and rebooted on the same checkpoint dir; the WAL replay must reconstruct
+# exactly the acked pushes (spectrum within 1e-12 of an uninterrupted run,
+# zero acked pushes lost) across serial, parallel and distributed models.
+# The WAL unit suite (torn tails, bit flips, rotation) rides along.
+crash-smoke:
+	$(GO) test -run 'TestCrashRecoverySIGKILL' -v -count 1 ./server
+	$(GO) test -count 1 ./internal/wal
 
 # Public-API consumer gate: every example must build against the public
 # packages only, quickstart must run end-to-end, and neither examples/

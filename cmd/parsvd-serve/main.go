@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -30,7 +31,10 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for per-model checkpoints (empty disables persistence)")
-	checkpointInterval := flag.Duration("checkpoint-interval", 30*time.Second, "how often dirty models are checkpointed")
+	checkpointInterval := flag.Duration("checkpoint-interval", 30*time.Second, "how often dirty models are checkpointed (each checkpoint truncates the WAL)")
+	fsync := flag.String("fsync", "always", "WAL durability policy: always (acked pushes survive power loss), interval, never")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background WAL flush cadence under -fsync interval")
+	noWAL := flag.Bool("no-wal", false, "disable the write-ahead log (checkpoint-only persistence)")
 	queueDepth := flag.Int("queue", 64, "per-model ingest queue depth (full queue => HTTP 429)")
 	coalesce := flag.Int("coalesce", 16, "max queued pushes folded into one engine update")
 	maxBody := flag.Int64("max-body", 32<<20, "max request body bytes")
@@ -42,6 +46,9 @@ func main() {
 		MaxCoalesce:        *coalesce,
 		CheckpointDir:      *checkpointDir,
 		CheckpointInterval: *checkpointInterval,
+		Fsync:              server.FsyncPolicy(*fsync),
+		FsyncInterval:      *fsyncInterval,
+		DisableWAL:         *noWAL,
 		MaxBodyBytes:       *maxBody,
 	}, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "parsvd-serve: %v\n", err)
@@ -54,14 +61,22 @@ func run(addr string, cfg server.Config, drainTimeout time.Duration) error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	// Listen explicitly (rather than ListenAndServe) so the log reports
+	// the bound address — with ":0" the kernel picks the port, and
+	// harnesses like the crash-recovery gate parse it from this line.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	log.Printf("parsvd-serve: listening on %s", addr)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	log.Printf("parsvd-serve: listening on %s", ln.Addr())
 
 	select {
 	case err := <-serveErr:

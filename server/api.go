@@ -104,10 +104,35 @@ type MatrixResponse struct {
 	Version uint64     `json:"version"`
 }
 
-// HealthResponse is the /healthz body.
+// HealthResponse is the /healthz body. Beyond liveness it reports the
+// per-model durability picture, so operators can see at a glance how much
+// acked data is at risk (dirty age under checkpoint-only persistence, WAL
+// depth under lazy fsync policies) and what the last boot's recovery cost.
 type HealthResponse struct {
-	Status string `json:"status"`
-	Models int    `json:"models"`
+	Status string        `json:"status"`
+	Models int           `json:"models"`
+	Health []ModelHealth `json:"health,omitempty"`
+}
+
+// ModelHealth is one model's durability snapshot.
+type ModelHealth struct {
+	Name string `json:"name"`
+	// Dirty reports updates applied since the last checkpoint;
+	// DirtyAgeSeconds is how long ago the first of them landed — the age
+	// of the data-at-risk window for checkpoint-only deployments.
+	Dirty           bool    `json:"dirty"`
+	DirtyAgeSeconds float64 `json:"dirty_age_seconds,omitempty"`
+	// WAL reports whether the model has a write-ahead log; WALRecords and
+	// WALBytes are its depth since the last rotation — the replay work a
+	// crash right now would incur.
+	WAL        bool  `json:"wal"`
+	WALRecords int64 `json:"wal_records,omitempty"`
+	WALBytes   int64 `json:"wal_bytes,omitempty"`
+	// ReplayedOnBoot and RecoverySeconds describe the last restore: how
+	// many WAL records were re-applied on top of the checkpoint, and how
+	// long the whole recovery took.
+	ReplayedOnBoot  uint64  `json:"replayed_on_boot,omitempty"`
+	RecoverySeconds float64 `json:"recovery_seconds,omitempty"`
 }
 
 type errorResponse struct {
@@ -181,7 +206,12 @@ func viewOf(w http.ResponseWriter, m *model) (*View, bool) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Models: s.reg.count()})
+	models := s.reg.list()
+	resp := HealthResponse{Status: "ok", Models: len(models)}
+	for _, m := range models {
+		resp.Health = append(resp.Health, m.health())
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {

@@ -11,6 +11,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	parsvd "goparsvd"
 	"goparsvd/server"
@@ -23,6 +24,12 @@ type Client struct {
 	BaseURL string
 	// HTTPClient is the transport; nil means http.DefaultClient.
 	HTTPClient *http.Client
+	// Retry, when enabled (MaxAttempts >= 2), makes calls retry transient
+	// failures — backpressure, shutdown, and (for idempotent methods
+	// only) network errors and 5xx — with capped exponential backoff,
+	// jitter, and Retry-After support. The zero value keeps the old
+	// single-attempt behavior.
+	Retry RetryPolicy
 }
 
 // New returns a client for the server at base (scheme://host[:port]).
@@ -31,10 +38,12 @@ func New(base string) *Client {
 }
 
 // APIError is a non-2xx response: the HTTP status plus the server's
-// error message.
+// error message and, when the response carried a Retry-After header, the
+// wait it asked for.
 type APIError struct {
 	StatusCode int
 	Message    string
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -47,22 +56,46 @@ func (e *APIError) IsRetryable() bool {
 	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode == http.StatusServiceUnavailable
 }
 
-// do runs one JSON round trip. in == nil skips the request body, out ==
-// nil discards the response body.
+// do runs a JSON round trip under the client's retry policy. in == nil
+// skips the request body, out == nil discards the response body.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		buf, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
-		body = bytes.NewReader(buf)
+		payload = buf
+	}
+	attempts := c.Retry.attempts()
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, method, path, in != nil, payload, out)
+		if err == nil {
+			return nil
+		}
+		if attempt+1 >= attempts || !retryable(method, err) {
+			return err
+		}
+		if sleepErr := sleepCtx(ctx, c.Retry.delay(attempt, err)); sleepErr != nil {
+			// The deadline or cancellation ended the retry loop; report it
+			// together with what we were retrying.
+			return fmt.Errorf("client: %w (giving up on retries; last error: %v)", sleepErr, err)
+		}
+	}
+}
+
+// once is a single HTTP attempt. The payload is a fresh reader each call,
+// so retries resend the full body.
+func (c *Client) once(ctx context.Context, method, path string, hasBody bool, payload []byte, out any) error {
+	var body io.Reader
+	if hasBody {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	hc := c.HTTPClient
@@ -82,7 +115,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg, RetryAfter: parseRetryAfter(resp)}
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)

@@ -4,7 +4,10 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
+	"time"
 
 	parsvd "goparsvd"
 	"goparsvd/server"
@@ -61,4 +64,41 @@ func Example() {
 	fmt.Printf("snapshots=%d singular_values=%d modes=%dx%d\n",
 		ack.Snapshots, len(spectrum.Singular), modes.Rows(), modes.Cols())
 	// Output: snapshots=12 singular_values=3 modes=8x3
+}
+
+// ExampleClient_retries shows a client that rides out backpressure: with a
+// RetryPolicy set, a 429 (full ingest queue) is retried with capped
+// exponential backoff and jitter, honoring any Retry-After the server
+// sends — instead of surfacing the first rejection to the caller.
+func ExampleClient_retries() {
+	// A server whose first two responses are backpressure.
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"server: ingest queue is full, retry later"}`)
+			return
+		}
+		fmt.Fprint(w, `{"snapshots":4,"version":1}`)
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL)
+	c.Retry = client.RetryPolicy{
+		MaxAttempts: 5,                      // first try + up to 4 retries
+		BaseDelay:   10 * time.Millisecond,  // attempt n sleeps ~BaseDelay*2^n ...
+		MaxDelay:    200 * time.Millisecond, // ... capped here, jittered by default
+	}
+
+	// Push retries through the two 429s: those are safe to retry because
+	// the server guarantees a rejected push was not applied. (Network
+	// errors and plain 5xx are retried only for idempotent calls.)
+	batch := parsvd.NewMatrix(3, 4)
+	ack, err := c.Push(context.Background(), "demo", batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("acked after %d attempts: snapshots=%d\n", hits.Load(), ack.Snapshots)
+	// Output: acked after 3 attempts: snapshots=4
 }

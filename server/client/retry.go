@@ -1,0 +1,139 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"time"
+)
+
+// RetryPolicy makes a Client retry transient failures with capped
+// exponential backoff and jitter. The zero value disables retries (every
+// call is a single attempt, the pre-retry behavior); set MaxAttempts >= 2
+// to enable.
+//
+// What gets retried is deliberately conservative, because a retry must
+// never double-apply a push:
+//
+//   - 429 (backpressure) and 503 (shutting down / model closed) are
+//     retried for every method: the server guarantees the request was NOT
+//     applied when it reports them.
+//   - Network errors and other 5xx responses are retried only for
+//     idempotent methods (GET, DELETE). A POST that died mid-flight may
+//     have been applied — snapshot pushes are not idempotent, so the
+//     client surfaces the error instead of guessing.
+//
+// A Retry-After header (429/503 responses carry one) overrides the
+// computed backoff when it asks for a longer wait. Sleeps respect the
+// request context: cancellation or a deadline ends the retry loop
+// immediately.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	// 0 or 1 disables retries.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: attempt n sleeps about
+	// BaseDelay·2ⁿ. Default 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Default 5s.
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay that is randomized: the sleep
+	// is drawn uniformly from [delay·(1−Jitter), delay], which spreads
+	// synchronized clients (thundering herd) apart. 0 means the default
+	// 0.5; negative disables jitter.
+	Jitter float64
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// delay computes the sleep before retry number attempt (0-based), honoring
+// a server-provided Retry-After when it is longer than the backoff.
+func (p RetryPolicy) delay(attempt int, err error) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > max { // <= 0: shift overflow
+		d = max
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.5
+	}
+	if jitter > 0 {
+		if jitter > 1 {
+			jitter = 1
+		}
+		d -= time.Duration(rand.Float64() * jitter * float64(d))
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.RetryAfter > d {
+		d = apiErr.RetryAfter
+	}
+	return d
+}
+
+// retryable reports whether err may be retried for the given method
+// without risking a double apply.
+func retryable(method string, err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		if apiErr.IsRetryable() { // 429/503: guaranteed not applied
+			return true
+		}
+		return apiErr.StatusCode >= 500 && idempotent(method)
+	}
+	// No HTTP response at all: a network error. The request may or may
+	// not have reached the server.
+	return idempotent(method)
+}
+
+func idempotent(method string) bool {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodDelete, http.MethodPut:
+		return true
+	}
+	return false
+}
+
+// sleepCtx sleeps d or until the context ends, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// parseRetryAfter reads a Retry-After response header: delta-seconds or an
+// HTTP date. 0 when absent or unparseable.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	var secs int
+	if _, err := fmt.Sscanf(v, "%d", &secs); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if when, err := http.ParseTime(v); err == nil {
+		if d := time.Until(when); d > 0 {
+			return d
+		}
+	}
+	return 0
+}

@@ -1,0 +1,209 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flaky builds a handler that fails the first n requests with fail, then
+// answers 200 {"ok":true}. It returns the handler and a counter of
+// requests seen.
+func flaky(n int, fail func(w http.ResponseWriter)) (http.HandlerFunc, *atomic.Int64) {
+	var seen atomic.Int64
+	return func(w http.ResponseWriter, r *http.Request) {
+		if seen.Add(1) <= int64(n) {
+			fail(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}`))
+	}, &seen
+}
+
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: attempts,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    10 * time.Millisecond,
+		Jitter:      -1,
+	}
+}
+
+func TestRetryOn429WithRetryAfter(t *testing.T) {
+	h, seen := flaky(2, func(w http.ResponseWriter) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"queue full"}`))
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = fastRetry(5)
+	// POST is retried on 429: the server guarantees it was not applied.
+	if err := c.do(context.Background(), http.MethodPost, "/", map[string]int{"x": 1}, nil); err != nil {
+		t.Fatalf("POST through 2x429: %v", err)
+	}
+	if got := seen.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+}
+
+func TestRetryAfterHeaderStretchesBackoff(t *testing.T) {
+	h, _ := flaky(1, func(w http.ResponseWriter) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = fastRetry(3) // backoff alone would be ~1ms
+	start := time.Now()
+	if err := c.do(context.Background(), http.MethodGet, "/", nil, nil); err != nil {
+		t.Fatalf("GET through 429: %v", err)
+	}
+	if took := time.Since(start); took < time.Second {
+		t.Fatalf("retry slept %v; Retry-After: 1 should stretch it past 1s", took)
+	}
+}
+
+func TestRetryOn500OnlyForIdempotent(t *testing.T) {
+	h, seen := flaky(1, func(w http.ResponseWriter) {
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":"transient"}`))
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = fastRetry(5)
+	if err := c.do(context.Background(), http.MethodGet, "/", nil, nil); err != nil {
+		t.Fatalf("GET through 500: %v", err)
+	}
+	if got := seen.Load(); got != 2 {
+		t.Fatalf("server saw %d GETs, want 2", got)
+	}
+
+	// A POST that 500s may have been applied server-side; it must NOT be
+	// retried.
+	seen.Store(0)
+	err := c.do(context.Background(), http.MethodPost, "/", map[string]int{"x": 1}, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("POST through 500: got %v, want APIError 500", err)
+	}
+	if got := seen.Load(); got != 1 {
+		t.Fatalf("server saw %d POSTs, want 1 (no retry)", got)
+	}
+}
+
+func TestRetryOnConnectionReset(t *testing.T) {
+	var seen atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if seen.Add(1) == 1 {
+			// Hijack and slam the connection: the client sees a read error,
+			// not an HTTP response.
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			conn.Close()
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = fastRetry(3)
+	// GET retries through the reset...
+	if err := c.do(context.Background(), http.MethodGet, "/", nil, nil); err != nil {
+		t.Fatalf("GET through connection reset: %v", err)
+	}
+	// ...but POST must not: the request may have been applied.
+	seen.Store(0)
+	if err := c.do(context.Background(), http.MethodPost, "/", map[string]int{"x": 1}, nil); err == nil {
+		t.Fatal("POST through connection reset: want error, got nil")
+	}
+	if got := seen.Load(); got != 1 {
+		t.Fatalf("server saw %d POSTs, want 1 (no retry)", got)
+	}
+}
+
+func TestRetryRespectsContextDeadline(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = fastRetry(5)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.do(ctx, http.MethodGet, "/", nil, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("deadline did not cut the Retry-After sleep short (took %v)", took)
+	}
+}
+
+func TestRetryExhaustionReturnsLastError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"still full"}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = fastRetry(3)
+	err := c.do(context.Background(), http.MethodGet, "/", nil, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("got %v, want APIError 429 after exhaustion", err)
+	}
+}
+
+func TestZeroPolicyIsSingleAttempt(t *testing.T) {
+	h, seen := flaky(1, func(w http.ResponseWriter) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(ts.URL) // zero RetryPolicy
+	if err := c.do(context.Background(), http.MethodGet, "/", nil, nil); err == nil {
+		t.Fatal("want the 429 surfaced, got nil")
+	}
+	if got := seen.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}
+
+func TestBackoffDelaysAreCappedAndJittered(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.5}
+	for attempt := 0; attempt < 40; attempt++ {
+		d := p.delay(attempt, errors.New("x"))
+		if d <= 0 || d > time.Second {
+			t.Fatalf("attempt %d: delay %v outside (0, 1s]", attempt, d)
+		}
+	}
+	// Jitter -1 disables randomization: the delay is exact.
+	exact := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: -1}
+	if d := exact.delay(1, errors.New("x")); d != 200*time.Millisecond {
+		t.Fatalf("unjittered delay = %v, want 200ms", d)
+	}
+	if d := exact.delay(30, errors.New("x")); d != time.Second {
+		t.Fatalf("capped delay = %v, want 1s", d)
+	}
+}

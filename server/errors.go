@@ -33,6 +33,13 @@ var (
 	// row-distributed in its worker processes (the view carries their
 	// SHA-256 fingerprint instead), and only a checkpoint gathers them.
 	ErrNoModes = errors.New("server: model serves no mode matrix (distributed backend); read the spectrum, stats or a checkpoint instead")
+	// ErrNotDurable reports a push that was applied in memory but whose
+	// write-ahead log append failed: the 200 durability contract cannot
+	// be met, so the pusher gets a 500 instead of an ack. The log refuses
+	// non-contiguous records afterwards, so every later push fails the
+	// same way until the operator repairs the disk — the model never
+	// silently diverges from its durable history.
+	ErrNotDurable = errors.New("server: push applied in memory but not durable (write-ahead log append failed)")
 )
 
 // StatusClientClosedRequest is the non-standard 499 status (nginx
@@ -59,6 +66,10 @@ func httpStatus(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrNoData), errors.Is(err, ErrNoModes):
 		return http.StatusConflict
+	case errors.Is(err, ErrNotDurable):
+		// The push was applied but could not be logged: a server-side
+		// storage fault, not a caller mistake.
+		return http.StatusInternalServerError
 	case errors.Is(err, parsvd.ErrEngineFailed):
 		// A permanently failed engine (rank panic, aborted collective) is
 		// a server-side fault, not a caller mistake.

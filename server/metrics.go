@@ -26,11 +26,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE parsvd_model_queue_depth gauge\n")
 	fmt.Fprintf(w, "# HELP parsvd_model_comm_bytes Inter-rank traffic bytes per model.\n")
 	fmt.Fprintf(w, "# TYPE parsvd_model_comm_bytes counter\n")
+	fmt.Fprintf(w, "# HELP parsvd_model_wal_appends Micro-batch records appended to the write-ahead log.\n")
+	fmt.Fprintf(w, "# TYPE parsvd_model_wal_appends counter\n")
+	fmt.Fprintf(w, "# HELP parsvd_model_wal_fsyncs Fsync calls issued by the write-ahead log.\n")
+	fmt.Fprintf(w, "# TYPE parsvd_model_wal_fsyncs counter\n")
+	fmt.Fprintf(w, "# HELP parsvd_model_wal_records Write-ahead log records not yet rotated out by a checkpoint (replay depth).\n")
+	fmt.Fprintf(w, "# TYPE parsvd_model_wal_records gauge\n")
+	fmt.Fprintf(w, "# HELP parsvd_model_wal_bytes Write-ahead log bytes not yet rotated out by a checkpoint.\n")
+	fmt.Fprintf(w, "# TYPE parsvd_model_wal_bytes gauge\n")
+	fmt.Fprintf(w, "# HELP parsvd_model_wal_replayed_records Records re-applied from the write-ahead log at the last boot.\n")
+	fmt.Fprintf(w, "# TYPE parsvd_model_wal_replayed_records gauge\n")
+	fmt.Fprintf(w, "# HELP parsvd_model_wal_truncated_bytes Torn-tail bytes discarded when the write-ahead log was opened.\n")
+	fmt.Fprintf(w, "# TYPE parsvd_model_wal_truncated_bytes counter\n")
+	fmt.Fprintf(w, "# HELP parsvd_model_recovery_seconds Wall time the last restore of this model took (checkpoint load + replay).\n")
+	fmt.Fprintf(w, "# TYPE parsvd_model_recovery_seconds gauge\n")
+	fmt.Fprintf(w, "# HELP parsvd_model_dirty_age_seconds Age of the oldest update not yet covered by a checkpoint (0 when clean).\n")
+	fmt.Fprintf(w, "# TYPE parsvd_model_dirty_age_seconds gauge\n")
 	for _, m := range s.reg.list() {
 		st := m.statsSnapshot()
 		fmt.Fprintf(w, "parsvd_model_snapshots{model=%q} %d\n", m.name, st.Snapshots)
 		fmt.Fprintf(w, "parsvd_model_updates{model=%q} %d\n", m.name, st.Updates)
 		fmt.Fprintf(w, "parsvd_model_queue_depth{model=%q} %d\n", m.name, m.pending.Load())
 		fmt.Fprintf(w, "parsvd_model_comm_bytes{model=%q} %d\n", m.name, st.Bytes)
+		h := m.health()
+		fmt.Fprintf(w, "parsvd_model_recovery_seconds{model=%q} %g\n", m.name, h.RecoverySeconds)
+		fmt.Fprintf(w, "parsvd_model_dirty_age_seconds{model=%q} %g\n", m.name, h.DirtyAgeSeconds)
+		wlog := m.wlog.Load()
+		if wlog == nil {
+			continue
+		}
+		c := wlog.Counters()
+		fmt.Fprintf(w, "parsvd_model_wal_appends{model=%q} %d\n", m.name, c.Appends)
+		fmt.Fprintf(w, "parsvd_model_wal_fsyncs{model=%q} %d\n", m.name, c.Fsyncs)
+		fmt.Fprintf(w, "parsvd_model_wal_records{model=%q} %d\n", m.name, h.WALRecords)
+		fmt.Fprintf(w, "parsvd_model_wal_bytes{model=%q} %d\n", m.name, h.WALBytes)
+		fmt.Fprintf(w, "parsvd_model_wal_replayed_records{model=%q} %d\n", m.name, c.Replayed)
+		fmt.Fprintf(w, "parsvd_model_wal_truncated_bytes{model=%q} %d\n", m.name, c.TruncatedBytes)
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	parsvd "goparsvd"
+	"goparsvd/internal/wal"
 )
 
 // model is one registered decomposition: a parsvd.SVD owned by a single
@@ -42,6 +44,20 @@ type model struct {
 	// Ingest-goroutine-only state.
 	dirty     bool // updates since the last checkpoint
 	ingestErr atomic.Pointer[string]
+
+	// wlog is the model's write-ahead log (nil when durability is off).
+	// Stored atomically because startModel attaches it after the model is
+	// already visible in the registry, while /healthz and /metrics read
+	// its depth concurrently.
+	wlog atomic.Pointer[wal.Log]
+	// dirtySince is the unix-nano timestamp of the first update since the
+	// last checkpoint (0 when clean): the age of the data-at-risk window
+	// /healthz reports for operators.
+	dirtySince atomic.Int64
+
+	// Boot-time recovery facts, written before run() and read-only after.
+	recoverySeconds float64
+	replayedOnBoot  uint64
 }
 
 // pushReq is one queued snapshot batch. errc is buffered so the ingest
@@ -179,6 +195,14 @@ func (m *model) apply(reqs []*pushReq) {
 		}
 		err := m.svd.Push(stacked)
 		if err == nil {
+			// Durability barrier: the applied micro-batch is logged (and,
+			// under FsyncAlways, fsynced) before any pusher sees its 200.
+			// The stacked batch is recorded exactly as the engine consumed
+			// it, so replay reproduces the same micro-batch boundaries —
+			// and with them the same forget-factor weighting — bit for bit.
+			err = m.logDurable(stacked)
+		}
+		if err == nil {
 			// A publish failure (poisoned parallel world during the
 			// gather) counts against the pushers too: their data is in an
 			// engine that can no longer serve it.
@@ -196,6 +220,30 @@ func (m *model) apply(reqs []*pushReq) {
 	}
 }
 
+// logDurable appends the applied micro-batch to the write-ahead log,
+// keyed by the engine's post-apply Updates counter — the same counter a
+// checkpoint carries, which is what lets replay-on-boot skip records a
+// checkpoint already covers. Under FsyncAlways the record is on stable
+// storage when this returns; under lazier policies the append is
+// buffered and the ack's meaning weakens accordingly (Config docs).
+//
+// A failed append leaves the engine ahead of the log, so the pushers of
+// this micro-batch get ErrNotDurable instead of an ack, and — because
+// the log refuses non-contiguous sequence numbers — every later push
+// fails the same way rather than silently widening the divergence: the
+// model is effectively read-only until the operator fixes the disk.
+func (m *model) logDurable(stacked *parsvd.Matrix) error {
+	wlog := m.wlog.Load()
+	if wlog == nil {
+		return nil
+	}
+	seq := uint64(m.svd.Stats().Updates)
+	if err := wlog.Append(seq, encodeBatchPayload(stacked)); err != nil {
+		return fmt.Errorf("%w: %v", ErrNotDurable, err)
+	}
+	return nil
+}
+
 // publish deep-copies the decomposition into a fresh View and swaps it in
 // (copy-on-publish). Readers holding the previous View keep it; new
 // readers see this one. A failed gather (poisoned parallel world) keeps
@@ -211,6 +259,7 @@ func (m *model) publish() error {
 	st := m.svd.Stats()
 	m.view.Store(&View{Version: uint64(st.Updates), Result: res, Stats: st})
 	m.dirty = true
+	m.dirtySince.CompareAndSwap(0, time.Now().UnixNano())
 	m.ingestErr.Store(nil) // healthy again: the last fault is history
 	return nil
 }
@@ -243,6 +292,15 @@ func (m *model) checkpointIfDirty() {
 		return
 	}
 	m.dirty = false
+	m.dirtySince.Store(0)
+	// The checkpoint is the WAL's truncation barrier: every record at or
+	// below its Updates counter is now redundant, so the covered segments
+	// rotate out — bounding both recovery time and disk.
+	if wlog := m.wlog.Load(); wlog != nil {
+		if err := wlog.Rotate(uint64(m.svd.Stats().Updates)); err != nil {
+			m.cfg.Logf("parsvd-serve: model %s: rotating wal: %v", m.name, err)
+		}
+	}
 }
 
 func (m *model) checkpoint() error {
@@ -257,11 +315,23 @@ func (m *model) checkpoint() error {
 		os.Remove(tmp)
 		return err
 	}
+	// fsync before the rename: a checkpoint that becomes the WAL's
+	// truncation barrier must itself be on stable storage before the
+	// covered records rotate out.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	syncDir(m.cfg.CheckpointDir)
+	return nil
 }
 
 // finish is the quit path of the ingest loop: by the time it runs,
@@ -291,6 +361,11 @@ func (m *model) finish() {
 	}
 	if m.flushOnQuit() {
 		m.checkpointIfDirty()
+	}
+	if wlog := m.wlog.Load(); wlog != nil {
+		if err := wlog.Close(); err != nil {
+			m.cfg.Logf("parsvd-serve: model %s: closing wal: %v", m.name, err)
+		}
 	}
 	if err := m.svd.Close(); err != nil {
 		m.cfg.Logf("parsvd-serve: model %s: closing engine: %v", m.name, err)
@@ -327,6 +402,27 @@ func (m *model) lastIngestError() string {
 		return *p
 	}
 	return ""
+}
+
+// health assembles the durability snapshot /healthz reports: how old the
+// un-checkpointed state is (the data-at-risk window for checkpoint-only
+// deployments) and how deep the WAL is (the replay work — and, under lazy
+// fsync policies, the exposure — a crash right now would incur).
+func (m *model) health() ModelHealth {
+	h := ModelHealth{
+		Name:            m.name,
+		ReplayedOnBoot:  m.replayedOnBoot,
+		RecoverySeconds: m.recoverySeconds,
+	}
+	if since := m.dirtySince.Load(); since != 0 {
+		h.Dirty = true
+		h.DirtyAgeSeconds = time.Since(time.Unix(0, since)).Seconds()
+	}
+	if wlog := m.wlog.Load(); wlog != nil {
+		h.WAL = true
+		h.WALRecords, h.WALBytes = wlog.Depth()
+	}
+	return h
 }
 
 // info assembles the API representation of the model.
