@@ -5,7 +5,7 @@ GO ?= go
 # benchstat wants repeated samples; `make bench BENCH_COUNT=10` feeds it.
 BENCH_COUNT ?= 1
 
-.PHONY: check build test vet fmt race smoke dist-smoke serve-smoke crash-smoke examples examples-gate bench bench-gate bench-stream worker fuzz-smoke
+.PHONY: check build test vet fmt race smoke dist-smoke serve-smoke crash-smoke examples examples-gate bench bench-gate bench-stream bench-trajectory bench-baseline benchtune noasm-test worker fuzz-smoke
 
 check: build test vet fmt
 
@@ -96,22 +96,62 @@ bench:
 bench-stream:
 	$(GO) test -run '^$$' -bench Incorporate -benchmem ./internal/stream
 
-# Regression gate on the two key benches: the blocked-GEMM kernel and the
-# zero-allocation streaming hot path. Fails if the steady-state streaming
-# update reports any allocations per op.
+# Regression gate on the key benches: the blocked-GEMM kernel, the batched
+# skinny-GEMM path and the zero-allocation streaming hot path. Fails if
+# either zero-alloc benchmark reports any allocations per op.
 bench-gate:
 	@fail=0; \
-	mat=$$($(GO) test -run '^$$' -bench 'BenchmarkMulSquare512$$' -benchmem ./internal/mat) || fail=1; \
+	mat=$$($(GO) test -run '^$$' -bench 'BenchmarkMulSquare512$$|BenchmarkBatchedSkinny$$' -benchmem ./internal/mat) || fail=1; \
 	stream=$$($(GO) test -run '^$$' -bench 'BenchmarkIncorporateSteadyStateAllocs$$' -benchmem ./internal/stream) || fail=1; \
 	out=$$(printf '%s\n%s\n' "$$mat" "$$stream"); \
 	echo "$$out"; \
 	if [ $$fail -ne 0 ]; then echo "bench-gate: benchmarks failed"; exit 1; fi; \
 	echo "$$out" | awk ' \
 		/^BenchmarkIncorporateSteadyStateAllocs/ { \
-			for (i = 1; i <= NF; i++) if ($$i == "allocs/op") { seen = 1; allocs = $$(i-1) } \
+			for (i = 1; i <= NF; i++) if ($$i == "allocs/op") { seenS = 1; allocsS = $$(i-1) } \
+		} \
+		/^BenchmarkBatchedSkinny/ { \
+			for (i = 1; i <= NF; i++) if ($$i == "allocs/op") { seenB = 1; allocsB = $$(i-1) } \
 		} \
 		END { \
-			if (!seen) { print "bench-gate: BenchmarkIncorporateSteadyStateAllocs did not run"; exit 1 } \
-			if (allocs + 0 > 0) { print "bench-gate: steady-state streaming path allocates (" allocs " allocs/op, want 0)"; exit 1 } \
-			print "bench-gate OK: steady-state streaming path reports " allocs " allocs/op" \
+			if (!seenS) { print "bench-gate: BenchmarkIncorporateSteadyStateAllocs did not run"; exit 1 } \
+			if (!seenB) { print "bench-gate: BenchmarkBatchedSkinny did not run"; exit 1 } \
+			if (allocsS + 0 > 0) { print "bench-gate: steady-state streaming path allocates (" allocsS " allocs/op, want 0)"; exit 1 } \
+			if (allocsB + 0 > 0) { print "bench-gate: batched skinny path allocates (" allocsB " allocs/op, want 0)"; exit 1 } \
+			print "bench-gate OK: streaming " allocsS " allocs/op, batched " allocsB " allocs/op" \
 		}'
+
+# The benchmark set the trajectory record tracks: kernel-level GEMM, the
+# batched path and the streaming hot loop. Kept in one place so emitting a
+# baseline and emitting a CI run measure the same thing.
+TRAJ_BENCH = BenchmarkMulIntoSquare256$$|BenchmarkMulSquare512$$|BenchmarkMulTallSkinny$$|BenchmarkBatchedSkinny$$|BenchmarkIncorporateSteadyStateAllocs$$
+TRAJ_COUNT ?= 5
+RUNID ?= local
+
+# Record the current machine's numbers as BENCH_<RUNID>.json and compare
+# against the committed BENCH_baseline.json: >10% median ns/op regression
+# (same environment) or any alloc increase (any environment) fails.
+bench-trajectory:
+	$(GO) test -run '^$$' -bench '$(TRAJ_BENCH)' -benchmem -count $(TRAJ_COUNT) \
+		./internal/mat ./internal/stream \
+		| $(GO) run ./cmd/parsvd-benchtraj emit -runid "$(RUNID)" -o BENCH_$(RUNID).json
+	$(GO) run ./cmd/parsvd-benchtraj compare -baseline BENCH_baseline.json -current BENCH_$(RUNID).json
+
+# Rewrite the committed baseline from this machine (run after intentional
+# performance changes, then commit BENCH_baseline.json).
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(TRAJ_BENCH)' -benchmem -count $(TRAJ_COUNT) \
+		./internal/mat ./internal/stream \
+		| $(GO) run ./cmd/parsvd-benchtraj emit -runid baseline -o BENCH_baseline.json
+
+# Re-measure the kernel selection thresholds on this machine and rewrite
+# internal/mat/seltab_gen.go (commit the result).
+benchtune:
+	$(GO) run ./cmd/parsvd-benchtune -o internal/mat/seltab_gen.go
+	gofmt -l internal/mat/seltab_gen.go
+
+# Fallback parity: the kernel and streaming suites with the assembly
+# micro-kernels disabled, so the pure-Go reference path stays correct.
+noasm-test:
+	PARSVD_NOASM=1 $(GO) test -count 1 ./internal/mat ./internal/stream
+	PARSVD_NOASM=1 $(GO) test -run '^$$' -bench 'BenchmarkIncorporateSteadyStateAllocs$$' -benchmem ./internal/stream

@@ -155,6 +155,9 @@ type Parallel struct {
 	// ws recycles this rank's update temporaries across batches; matrices
 	// that cross rank boundaries are still allocated by the communicator.
 	ws mat.Workspace
+	// pb batches this rank's tall mode-update product into row panels that
+	// share one packed right-hand side.
+	pb mat.PanelBatch
 }
 
 var _ Decomposer = (*Parallel)(nil)
@@ -223,7 +226,7 @@ func (p *Parallel) IncorporateData(a *mat.Dense) Decomposer {
 	usub := p.ws.GetUninit(unew.Rows(), k)
 	unew.SliceColsInto(usub, 0, k)
 	next := p.ws.GetUninit(qlocal.Rows(), k)
-	mat.MulInto(next, qlocal, usub)
+	p.pb.MulInto(next, qlocal, usub)
 	p.ws.Put(usub)
 	p.ws.Put(unew)
 	p.ws.Put(qlocal)

@@ -1,0 +1,216 @@
+package mat
+
+import (
+	"fmt"
+	"sync"
+	"unsafe"
+)
+
+// Batched small-GEMM: N products that share a right-hand side, computed with
+// each B panel packed exactly once for the whole batch. The streaming mode
+// update U' = [U | e]·Ũ and its distributed counterpart are tall-skinny
+// products whose packing cost is dominated by B only when B is reused; the
+// PanelBatch type below splits such a product into row panels and feeds them
+// through BatchedMulInto so the panel fan-out can also be batch-aware.
+
+// BatchedMulInto computes dsts[i] = as[i]·b for every i. All operands follow
+// the MulInto contract (dsts[i] is as[i].Rows()×b.Cols(), as[i].Cols() ==
+// b.Rows()); additionally no destination may overlap b, any as operand, or
+// another destination, which is verified against the actual backing storage
+// so disjoint views of one array (ViewRows panels) are accepted.
+//
+// The result is bit-identical to calling MulInto(dsts[i], as[i], b) in a
+// loop: each item takes the same naive-vs-blocked route as MulInto would,
+// and the packed panels and accumulation order within an item do not depend
+// on the rest of the batch.
+func BatchedMulInto(dsts, as []*Dense, b *Dense) {
+	if len(dsts) != len(as) {
+		panic(fmt.Sprintf("mat: BatchedMulInto has %d destinations for %d operands",
+			len(dsts), len(as)))
+	}
+	if len(dsts) == 0 {
+		return
+	}
+	k, n := b.rows, b.cols
+	for i, a := range as {
+		if a.cols != k {
+			panic(dimPanic("BatchedMulInto", a, b))
+		}
+		checkDims("BatchedMulInto", dsts[i], a.rows, n)
+	}
+	checkBatchAliasing(dsts, as, b)
+	for _, d := range dsts {
+		zeroFloats(d.data)
+	}
+	if k == 0 || n == 0 {
+		return
+	}
+
+	// Small items take MulInto's naive route now; blocked items share packed
+	// B panels below. Recomputing the cutoff per item instead of collecting
+	// index lists keeps the call allocation-free.
+	anyBlocked := false
+	for i, a := range as {
+		if a.rows == 0 {
+			continue
+		}
+		if a.rows*n*k <= sel.SmallFlops {
+			gemmSmall(dsts[i], a, b, false, false)
+		} else {
+			anyBlocked = true
+		}
+	}
+	if !anyBlocked {
+		return
+	}
+
+	kern := kernFor(n)
+	bbuf := getPackBuf()
+	defer putPackBuf(bbuf)
+	abuf := getPackBuf()
+	defer putPackBuf(abuf)
+	kernelPool.once.Do(startKernelPool)
+
+	for jc := 0; jc < n; jc += ncBlock {
+		nc := min(ncBlock, n-jc)
+		for pc := 0; pc < k; pc += kcBlock {
+			kc := min(kcBlock, k-pc)
+			bp := bbuf.grow(roundUp(nc, kern.nr) * kc)
+			packB(bp, kern.nr, b, pc, kc, jc, nc, false)
+
+			// Fan out on the batch's pooled flops for this panel pair, not
+			// per item: a single skinny panel rarely clears the per-product
+			// threshold, but the batch together can keep every worker busy.
+			batchFlops := 0
+			for _, a := range as {
+				if a.rows*n*k > sel.SmallFlops {
+					batchFlops += a.rows * nc * kc
+				}
+			}
+			fan := kernelPool.workers >= 2 && batchFlops >= sel.BatchSpanFlops
+			t := gemmTask{kern: kern, bp: bp, pc: pc, kc: kc, jc: jc, nc: nc}
+			if !fan {
+				for i, a := range as {
+					if a.rows == 0 || a.rows*n*k <= sel.SmallFlops {
+						continue
+					}
+					t.out, t.a = dsts[i], a
+					for ic := 0; ic < a.rows; ic += mcBlock {
+						t.ic, t.mc = ic, min(mcBlock, a.rows-ic)
+						t.run(abuf)
+					}
+				}
+				continue
+			}
+			wg := waitGroupPool.Get().(*sync.WaitGroup)
+			t.wg = wg
+			for i, a := range as {
+				if a.rows == 0 || a.rows*n*k <= sel.SmallFlops {
+					continue
+				}
+				t.out, t.a = dsts[i], a
+				for ic := 0; ic < a.rows; ic += mcBlock {
+					wg.Add(1)
+					t.ic, t.mc = ic, min(mcBlock, a.rows-ic)
+					kernelPool.tasks <- t
+				}
+			}
+			wg.Wait()
+			waitGroupPool.Put(wg)
+		}
+	}
+}
+
+// checkBatchAliasing panics if any destination's backing storage overlaps b,
+// any operand, or another destination. Overlap is judged on address ranges,
+// not slice identity: ViewRows panels of one matrix share a backing array
+// but occupy disjoint ranges, and those must pass.
+func checkBatchAliasing(dsts, as []*Dense, b *Dense) {
+	for i, d := range dsts {
+		if floatsOverlap(d.data, b.data) {
+			panic(fmt.Sprintf("mat: BatchedMulInto destination %d aliases b", i))
+		}
+		for j, a := range as {
+			if floatsOverlap(d.data, a.data) {
+				panic(fmt.Sprintf("mat: BatchedMulInto destination %d aliases operand %d", i, j))
+			}
+		}
+		for j := i + 1; j < len(dsts); j++ {
+			if floatsOverlap(d.data, dsts[j].data) {
+				panic(fmt.Sprintf("mat: BatchedMulInto destinations %d and %d alias", i, j))
+			}
+		}
+	}
+}
+
+// floatsOverlap reports whether two slices' element storage overlaps.
+func floatsOverlap(x, y []float64) bool {
+	if len(x) == 0 || len(y) == 0 {
+		return false
+	}
+	x0 := uintptr(unsafe.Pointer(&x[0]))
+	y0 := uintptr(unsafe.Pointer(&y[0]))
+	const w = unsafe.Sizeof(float64(0))
+	return x0 < y0+uintptr(len(y))*w && y0 < x0+uintptr(len(x))*w
+}
+
+// PanelBatch computes tall products dst = a·b by splitting the rows into
+// panels of sel.PanelRows and running them as one BatchedMulInto batch, so
+// each B panel is packed once instead of once per mc sweep and the pool
+// fan-out sees the whole batch. The zero value is ready to use; the panel
+// headers are recycled across calls, so a PanelBatch owned by a streaming
+// loop adds nothing to the steady-state allocation count.
+type PanelBatch struct {
+	dsts, as []*Dense
+	dstHdr   []Dense
+	aHdr     []Dense
+}
+
+// MulInto computes dst = a*b with the same contract as mat.MulInto. Products
+// of sel.PanelRows rows or fewer are delegated to MulInto unchanged.
+func (pb *PanelBatch) MulInto(dst, a, b *Dense) {
+	if a.cols != b.rows {
+		panic(dimPanic("Mul", a, b))
+	}
+	checkDims("MulInto", dst, a.rows, b.cols)
+	m := a.rows
+	pr := sel.PanelRows
+	n := b.cols
+	// Split only into full panels — the ragged remainder merges into the
+	// last one — and only when a full panel clears the naive-route cutoff.
+	// Every panel then takes the blocked path, and because PanelRows is a
+	// multiple of mcBlock the panels' mc sweeps partition the rows exactly
+	// as the unsplit product's would: the result matches MulInto bit for
+	// bit, so wiring a PanelBatch into a hot loop never perturbs numerics.
+	nPanels := m / pr
+	if nPanels < 2 || pr*a.cols*n <= sel.SmallFlops {
+		MulInto(dst, a, b)
+		return
+	}
+	pb.ensure(nPanels)
+	for p := 0; p < nPanels; p++ {
+		r0 := p * pr
+		r1 := r0 + pr
+		if p == nPanels-1 {
+			r1 = m
+		}
+		dst.ViewRows(r0, r1, &pb.dstHdr[p])
+		a.ViewRows(r0, r1, &pb.aHdr[p])
+		pb.dsts[p] = &pb.dstHdr[p]
+		pb.as[p] = &pb.aHdr[p]
+	}
+	BatchedMulInto(pb.dsts[:nPanels], pb.as[:nPanels], b)
+}
+
+func (pb *PanelBatch) ensure(n int) {
+	if cap(pb.dstHdr) < n {
+		pb.dstHdr = make([]Dense, n)
+		pb.aHdr = make([]Dense, n)
+		pb.dsts = make([]*Dense, n)
+		pb.as = make([]*Dense, n)
+	}
+	pb.dstHdr = pb.dstHdr[:n]
+	pb.aHdr = pb.aHdr[:n]
+	pb.dsts = pb.dsts[:n]
+	pb.as = pb.as[:n]
+}

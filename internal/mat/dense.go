@@ -8,12 +8,16 @@
 //
 // The matrix product (gemm.go) is a cache-blocked, packed GEMM: operand
 // panels are copied into micro-tile-ordered buffers sized for L1/L2, the
-// inner loop is an 8×4 register micro-kernel (AVX2/FMA assembly on amd64,
-// an unrolled pure-Go kernel elsewhere), and large products fan their
-// A-panel blocks out to a persistent worker pool (pool.go) instead of
-// spawning goroutines per call. Hot paths use the allocation-free *Into
-// entry points together with a Workspace (workspace.go), a buffer pool
-// that lets iterative algorithms reuse every temporary across iterations.
+// inner loop is a register micro-kernel dispatched per CPU and per shape
+// (kernel.go: AVX-512 and AVX2/FMA assembly on amd64, NEON on arm64, an
+// unrolled pure-Go kernel everywhere, overridable with PARSVD_NOASM and
+// PARSVD_KERNEL), and large products fan their A-panel blocks out to a
+// persistent worker pool (pool.go) instead of spawning goroutines per
+// call. Batches of products sharing a right-hand side go through
+// BatchedMulInto (batch.go), which packs each B panel once per batch. Hot
+// paths use the allocation-free *Into entry points together with a
+// Workspace (workspace.go), a buffer pool that lets iterative algorithms
+// reuse every temporary across iterations.
 package mat
 
 import (
@@ -242,6 +246,21 @@ func (m *Dense) SliceColsInto(dst *Dense, c0, c1 int) {
 
 // SliceRows returns a copy of rows [r0,r1).
 func (m *Dense) SliceRows(r0, r1 int) *Dense { return m.Slice(r0, r1, 0, m.cols) }
+
+// ViewRows overwrites view with a no-copy window onto rows [r0,r1) of m.
+// Unlike SliceRows this aliases the receiver's storage: writes through
+// either header are visible to both, and the view becomes invalid if the
+// parent's storage is replaced. Reusing one Dense header across calls keeps
+// row-panel iteration (batch.go) allocation-free.
+func (m *Dense) ViewRows(r0, r1 int, view *Dense) {
+	if r0 < 0 || r1 > m.rows || r0 > r1 {
+		panic(fmt.Sprintf("mat: view [%d:%d] out of bounds for %dx%d",
+			r0, r1, m.rows, m.cols))
+	}
+	view.rows = r1 - r0
+	view.cols = m.cols
+	view.data = m.data[r0*m.cols : r1*m.cols : r1*m.cols]
+}
 
 // ColMatrix returns column j as an m×1 matrix.
 func (m *Dense) ColMatrix(j int) *Dense {

@@ -2,38 +2,30 @@ package mat
 
 // Blocked, packed GEMM in the BLIS/GotoBLAS style. The operand panels are
 // copied ("packed") into contiguous, micro-tile-ordered buffers sized for
-// the cache hierarchy, and the innermost computation is an mr×nr = 8×4
-// register micro-kernel (AVX2/FMA assembly on amd64, unrolled Go
-// elsewhere). Both transposed variants are handled at packing time, so a
-// single macro/micro kernel serves Mul, MulTransA and MulTransB. Large
-// products split their A-panel (row) blocks across the persistent worker
-// pool in pool.go.
+// the cache hierarchy, and the innermost computation is an mr×nr register
+// micro-kernel selected per shape from the kernels the CPU supports
+// (kernel.go): AVX-512 and AVX2/FMA assembly on amd64, NEON assembly on
+// arm64, an unrolled pure-Go strip kernel everywhere. Both transposed
+// variants are handled at packing time, so a single macro/micro kernel
+// serves Mul, MulTransA and MulTransB. Large products split their A-panel
+// (row) blocks across the persistent worker pool in pool.go; batches of
+// products sharing a right-hand side go through batch.go, which packs each
+// B panel once for the whole batch.
 //
 // Loop structure (jc → pc → ic → ir → jr), with C accumulated across pc:
 //
 //	for jc over columns of C, step nc:          B panel → L3
 //	  for pc over the inner dimension, step kc: pack B(kc×nc)
 //	    for ic over rows of C, step mc:         pack A(mc×kc) → L2
-//	      for ir over mc, step 8:               A micro-panel
-//	        for jr over nc, step 4:             8×4 register tile
-
+//	      for ir over mc, step mr:              A micro-panel
+//	        for jr over nc, step nr:            mr×nr register tile
 const (
-	// mr×nr is the register micro-tile. The AVX2/FMA assembly kernel
-	// (gemm_amd64.s) keeps the 8×4 C tile in eight YMM accumulators; the
-	// portable Go kernel covers the same strip as two 4×4 halves.
-	mr = 8
-	nr = 4
-
-	// kcBlock × nr doubles (8 KiB) is the B micro-panel the inner loop
-	// streams from L1; mcBlock × kcBlock doubles (256 KiB) is the packed A
-	// panel that should stay L2-resident.
+	// kcBlock × nr doubles is the B micro-panel the inner loop streams
+	// from L1; mcBlock × kcBlock doubles (256 KiB) is the packed A panel
+	// that should stay L2-resident.
 	kcBlock = 256
 	mcBlock = 128
 	ncBlock = 512
-
-	// smallGemmFlops is the m·k·n product below which packing overhead
-	// outweighs the micro-kernel win and a plain i-k-j loop is faster.
-	smallGemmFlops = 16 * 16 * 16
 )
 
 // gemm computes out = op(a)·op(b), overwriting out. op is the identity or
@@ -51,10 +43,23 @@ func gemm(out, a, b *Dense, transA, transB bool) {
 	if k == 0 {
 		return
 	}
-	if m*n*k <= smallGemmFlops {
+	if m*n*k <= sel.SmallFlops {
 		gemmSmall(out, a, b, transA, transB)
 		return
 	}
+	gemmBlocked(out, a, b, transA, transB)
+}
+
+// gemmBlocked is the packed path, taken unconditionally: BlockedMulInto
+// (the tuning entry point) and gemm (above the naive cutoff) both land
+// here.
+func gemmBlocked(out, a, b *Dense, transA, transB bool) {
+	n := out.cols
+	k := a.cols
+	if transA {
+		k = a.rows
+	}
+	kern := kernFor(n)
 
 	bbuf := getPackBuf()
 	defer putPackBuf(bbuf)
@@ -65,11 +70,43 @@ func gemm(out, a, b *Dense, transA, transB bool) {
 		nc := min(ncBlock, n-jc)
 		for pc := 0; pc < k; pc += kcBlock {
 			kc := min(kcBlock, k-pc)
-			bp := bbuf.grow(roundUp(nc, nr) * kc)
-			packB(bp, b, pc, kc, jc, nc, transB)
-			dispatchRows(out, a, bp, pc, kc, jc, nc, transA, abuf)
+			bp := bbuf.grow(roundUp(nc, kern.nr) * kc)
+			packB(bp, kern.nr, b, pc, kc, jc, nc, transB)
+			dispatchRows(out, a, kern, bp, pc, kc, jc, nc, transA, abuf)
 		}
 	}
+}
+
+// BlockedMulInto computes dst = a*b through the packed micro-kernel path
+// regardless of the naive-loop cutoff. It is the tuning and testing entry
+// point: cmd/parsvd-benchtune measures the packed path against the naive
+// reference with it to locate the SmallFlops crossover, and the edge-tile
+// tests drive sub-cutoff shapes through the blocked code with it.
+func BlockedMulInto(dst, a, b *Dense) {
+	if a.cols != b.rows {
+		panic(dimPanic("Mul", a, b))
+	}
+	checkDims("BlockedMulInto", dst, a.rows, b.cols)
+	if dst.rows == 0 || dst.cols == 0 {
+		return
+	}
+	zeroFloats(dst.data)
+	if a.cols == 0 {
+		return
+	}
+	gemmBlocked(dst, a, b, false, false)
+}
+
+// RefMulInto computes dst = a*b with the naive i-k-j reference loop,
+// unconditionally. It is the ground truth the kernel parity suite and
+// cmd/parsvd-benchtune compare every micro-kernel path against.
+func RefMulInto(dst, a, b *Dense) {
+	if a.cols != b.rows {
+		panic(dimPanic("Mul", a, b))
+	}
+	checkDims("RefMulInto", dst, a.rows, b.cols)
+	zeroFloats(dst.data)
+	gemmSmall(dst, a, b, false, false)
 }
 
 // gemmSmall is the naive i-k-j product used when the operands are too small
@@ -109,7 +146,7 @@ func gemmSmall(out, a, b *Dense, transA, transB bool) {
 // packA copies the mc×kc block of op(a) starting at row ic, column pc into
 // ap, grouped in mr-row strips stored k-major: ap[strip*kc*mr + k*mr + r].
 // Rows beyond mc are zero-padded so the micro-kernel never branches on m.
-func packA(ap []float64, a *Dense, ic, mc, pc, kc int, transA bool) {
+func packA(ap []float64, mr int, a *Dense, ic, mc, pc, kc int, transA bool) {
 	lda := a.cols
 	for ir := 0; ir < mc; ir += mr {
 		dst := ap[(ir/mr)*kc*mr : (ir/mr+1)*kc*mr]
@@ -140,16 +177,22 @@ func packA(ap []float64, a *Dense, ic, mc, pc, kc int, transA bool) {
 // packB copies the kc×nc block of op(b) starting at row pc, column jc into
 // bp, grouped in nr-column strips stored k-major: bp[strip*kc*nr + k*nr + c].
 // Columns beyond nc are zero-padded.
-func packB(bp []float64, b *Dense, pc, kc, jc, nc int, transB bool) {
+func packB(bp []float64, nr int, b *Dense, pc, kc, jc, nc int, transB bool) {
 	ldb := b.cols
 	for jr := 0; jr < nc; jr += nr {
 		dst := bp[(jr/nr)*kc*nr : (jr/nr+1)*kc*nr]
 		cols := min(nr, nc-jr)
-		if !transB && cols == nr {
+		if !transB && cols == nr && nr == 4 {
 			for kk := 0; kk < kc; kk++ {
 				src := b.data[(pc+kk)*ldb+jc+jr:]
 				d := dst[kk*nr : kk*nr+nr]
 				d[0], d[1], d[2], d[3] = src[0], src[1], src[2], src[3]
+			}
+			continue
+		}
+		if !transB && cols == nr {
+			for kk := 0; kk < kc; kk++ {
+				copy(dst[kk*nr:kk*nr+nr], b.data[(pc+kk)*ldb+jc+jr:(pc+kk)*ldb+jc+jr+nr])
 			}
 			continue
 		}
@@ -178,78 +221,50 @@ func packB(bp []float64, b *Dense, pc, kc, jc, nc int, transB bool) {
 
 // macroKernel accumulates the packed panels into C: the jr loop walks B
 // micro-panels (L1-resident across the ir loop), the ir loop walks A strips.
-// Each micro-kernel invocation computes one mr×nr product tile into a stack
-// buffer, which is then masked-added into C — the same write-back path for
-// the assembly and portable kernels.
-func macroKernel(out *Dense, ap, bp []float64, ic, mc, jc, nc, kc int) {
-	var tile [mr * nr]float64
+// Each micro-kernel invocation computes one mr×nr product tile into the
+// caller's reused tile buffer, which is then masked-added into C — the same
+// write-back path for every assembly kernel and the portable one. Tile
+// geometry comes from the dispatched kernelCfg, never from package constants.
+func macroKernel(out *Dense, kern *kernelCfg, ap, bp []float64, ic, mc, jc, nc, kc int, tile *[maxMR * maxNR]float64) {
+	mr, nr := kern.mr, kern.nr
 	for ir := 0; ir < mc; ir += mr {
 		app := ap[(ir/mr)*kc*mr : (ir/mr+1)*kc*mr]
 		rows := min(mr, mc-ir)
 		for jr := 0; jr < nc; jr += nr {
 			bpp := bp[(jr/nr)*kc*nr : (jr/nr+1)*kc*nr]
 			cols := min(nr, nc-jr)
-			if useFMA {
-				microFMA8x4(kc, &app[0], &bpp[0], &tile[0])
-			} else {
-				microGo8x4(kc, app, bpp, &tile)
-			}
-			addTile(out, &tile, ic+ir, jc+jr, rows, cols)
+			kern.micro(kc, app, bpp, tile)
+			addTile(out, tile, nr, ic+ir, jc+jr, rows, cols)
 		}
-	}
-}
-
-// microGo8x4 is the portable micro-kernel: the 8×4 strip is covered as two
-// register-resident 4×4 halves so the accumulators stay out of memory.
-func microGo8x4(kc int, ap, bp []float64, tile *[mr * nr]float64) {
-	for half := 0; half < 2; half++ {
-		var c00, c01, c02, c03 float64
-		var c10, c11, c12, c13 float64
-		var c20, c21, c22, c23 float64
-		var c30, c31, c32, c33 float64
-		ai := half * 4
-		bi := 0
-		for k := 0; k < kc; k++ {
-			a0, a1, a2, a3 := ap[ai], ap[ai+1], ap[ai+2], ap[ai+3]
-			b0, b1, b2, b3 := bp[bi], bp[bi+1], bp[bi+2], bp[bi+3]
-			c00 += a0 * b0
-			c01 += a0 * b1
-			c02 += a0 * b2
-			c03 += a0 * b3
-			c10 += a1 * b0
-			c11 += a1 * b1
-			c12 += a1 * b2
-			c13 += a1 * b3
-			c20 += a2 * b0
-			c21 += a2 * b1
-			c22 += a2 * b2
-			c23 += a2 * b3
-			c30 += a3 * b0
-			c31 += a3 * b1
-			c32 += a3 * b2
-			c33 += a3 * b3
-			ai += mr
-			bi += nr
-		}
-		o := half * 4 * nr
-		tile[o+0], tile[o+1], tile[o+2], tile[o+3] = c00, c01, c02, c03
-		tile[o+4], tile[o+5], tile[o+6], tile[o+7] = c10, c11, c12, c13
-		tile[o+8], tile[o+9], tile[o+10], tile[o+11] = c20, c21, c22, c23
-		tile[o+12], tile[o+13], tile[o+14], tile[o+15] = c30, c31, c32, c33
 	}
 }
 
 // addTile accumulates the rows×cols valid region of a computed micro-tile
-// into C at (i0, j0).
-func addTile(out *Dense, tile *[mr * nr]float64, i0, j0, rows, cols int) {
+// (row-major with stride nr) into C at (i0, j0).
+func addTile(out *Dense, tile *[maxMR * maxNR]float64, nr, i0, j0, rows, cols int) {
 	ldc := out.cols
-	if cols == nr {
+	if cols == 4 && nr == 4 {
 		for i := 0; i < rows; i++ {
-			c := out.data[(i0+i)*ldc+j0 : (i0+i)*ldc+j0+nr : (i0+i)*ldc+j0+nr]
-			c[0] += tile[i*nr]
-			c[1] += tile[i*nr+1]
-			c[2] += tile[i*nr+2]
-			c[3] += tile[i*nr+3]
+			c := out.data[(i0+i)*ldc+j0 : (i0+i)*ldc+j0+4 : (i0+i)*ldc+j0+4]
+			c[0] += tile[i*4]
+			c[1] += tile[i*4+1]
+			c[2] += tile[i*4+2]
+			c[3] += tile[i*4+3]
+		}
+		return
+	}
+	if cols == 8 && nr == 8 {
+		for i := 0; i < rows; i++ {
+			c := out.data[(i0+i)*ldc+j0 : (i0+i)*ldc+j0+8 : (i0+i)*ldc+j0+8]
+			t := tile[i*8 : i*8+8 : i*8+8]
+			c[0] += t[0]
+			c[1] += t[1]
+			c[2] += t[2]
+			c[3] += t[3]
+			c[4] += t[4]
+			c[5] += t[5]
+			c[6] += t[6]
+			c[7] += t[7]
 		}
 		return
 	}

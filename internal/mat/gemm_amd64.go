@@ -2,18 +2,54 @@
 
 package mat
 
-// useFMA routes the micro-kernel to the AVX2/FMA assembly in gemm_amd64.s
-// when the CPU and OS support it; otherwise the portable Go kernel runs.
-var useFMA = hasAVX2FMA()
-
 // hasAVX2FMA reports whether the processor supports AVX2 and FMA3 and the
 // OS has enabled YMM state saving (implemented in gemm_amd64.s).
 func hasAVX2FMA() bool
 
+// hasAVX512F reports whether the processor supports AVX-512F and the OS
+// has enabled ZMM and opmask state saving (implemented in gemm_amd64.s).
+func hasAVX512F() bool
+
 // microFMA8x4 computes the 8×4 product tile dst = Ap·Bp over kc packed
 // k-steps: ap is an 8-row strip (k-major, 8 doubles per k), bp a 4-column
-// strip (k-major, 4 doubles per k), dst a 32-double row-major tile
+// strip (k-major, 4 doubles per k), dst a row-major tile with stride 4
 // (implemented in gemm_amd64.s).
 //
 //go:noescape
 func microFMA8x4(kc int, ap, bp, dst *float64)
+
+// microAVX512F8x8 computes the 8×8 product tile dst = Ap·Bp over kc packed
+// k-steps: ap is an 8-row strip (k-major, 8 doubles per k), bp an 8-column
+// strip (k-major, 8 doubles per k), dst a row-major tile with stride 8
+// (implemented in gemm_amd64.s).
+//
+//go:noescape
+func microAVX512F8x8(kc int, ap, bp, dst *float64)
+
+func microAVX2(kc int, ap, bp []float64, tile *[maxMR * maxNR]float64) {
+	microFMA8x4(kc, &ap[0], &bp[0], &tile[0])
+}
+
+func microAVX512(kc int, ap, bp []float64, tile *[maxMR * maxNR]float64) {
+	microAVX512F8x8(kc, &ap[0], &bp[0], &tile[0])
+}
+
+// archKernels returns the assembly kernels this CPU supports, best-first.
+// The AVX-512 kernel's narrow sibling is the AVX2 8×4 kernel: for skinny
+// right-hand sides the selection table (seltab_gen.go) routes products
+// below SkinnyN output columns to it, because a 8-wide tile wastes most of
+// its lanes on edge strips there.
+func archKernels() []*kernelCfg {
+	var ks []*kernelCfg
+	var avx2 *kernelCfg
+	if hasAVX2FMA() {
+		avx2 = &kernelCfg{name: "avx2-8x4", mr: 8, nr: 4, micro: microAVX2}
+	}
+	if hasAVX512F() {
+		ks = append(ks, &kernelCfg{name: "avx512-8x8", mr: 8, nr: 8, micro: microAVX512, narrow: avx2})
+	}
+	if avx2 != nil {
+		ks = append(ks, avx2)
+	}
+	return ks
+}

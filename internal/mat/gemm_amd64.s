@@ -32,6 +32,35 @@ notsupported:
 	MOVB $0, ret+0(FP)
 	RET
 
+// func hasAVX512F() bool
+//
+// CPUID leaf 1 ECX: OSXSAVE (bit 27);
+// XGETBV(0): XMM|YMM (bits 1-2) plus opmask|ZMM_Hi256|Hi16_ZMM (bits 5-7)
+// state enabled by the OS (mask 0xe6);
+// CPUID leaf 7 EBX: AVX512F (bit 16).
+TEXT ·hasAVX512F(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<27), CX
+	JZ    no512
+	XORL  CX, CX
+	XGETBV
+	ANDL  $0xe6, AX
+	CMPL  AX, $0xe6
+	JNE   no512
+	MOVL  $7, AX
+	XORL  CX, CX
+	CPUID
+	TESTL $(1<<16), BX
+	JZ    no512
+	MOVB  $1, ret+0(FP)
+	RET
+
+no512:
+	MOVB $0, ret+0(FP)
+	RET
+
 // func microFMA8x4(kc int, ap, bp, dst *float64)
 //
 // One 8×4 micro-tile of the blocked GEMM: ap holds an 8-row packed A strip
@@ -91,5 +120,69 @@ store:
 	VMOVUPD Y5, 160(DX)
 	VMOVUPD Y6, 192(DX)
 	VMOVUPD Y7, 224(DX)
+	VZEROUPPER
+	RET
+
+// func microAVX512F8x8(kc int, ap, bp, dst *float64)
+//
+// One 8×8 micro-tile: ap holds an 8-row packed A strip (8 doubles per
+// k-step), bp an 8-column packed B strip (8 doubles per k-step). The 8×8 C
+// tile lives in Z0–Z7 (row i in Z_i); every k-step is one 64-byte B-vector
+// load plus eight broadcast-FMAs. Only AVX-512F instructions are used
+// (VPXORQ zeroes the accumulators because VXORPD on ZMM would need
+// AVX-512DQ), so the CPUID gate above requires the F subset alone. The
+// finished tile is stored row-major to dst (8 rows × 8 doubles).
+TEXT ·microAVX512F8x8(SB), NOSPLIT, $0-32
+	MOVQ kc+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DI
+	MOVQ dst+24(FP), DX
+
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+	VPXORQ Z4, Z4, Z4
+	VPXORQ Z5, Z5, Z5
+	VPXORQ Z6, Z6, Z6
+	VPXORQ Z7, Z7, Z7
+
+	TESTQ CX, CX
+	JZ    store512
+
+loop512:
+	VMOVUPD (DI), Z8              // b[0:8] for this k-step
+
+	VBROADCASTSD 0(SI), Z9
+	VBROADCASTSD 8(SI), Z10
+	VFMADD231PD  Z8, Z9, Z0
+	VFMADD231PD  Z8, Z10, Z1
+	VBROADCASTSD 16(SI), Z11
+	VBROADCASTSD 24(SI), Z12
+	VFMADD231PD  Z8, Z11, Z2
+	VFMADD231PD  Z8, Z12, Z3
+	VBROADCASTSD 32(SI), Z9
+	VBROADCASTSD 40(SI), Z10
+	VFMADD231PD  Z8, Z9, Z4
+	VFMADD231PD  Z8, Z10, Z5
+	VBROADCASTSD 48(SI), Z11
+	VBROADCASTSD 56(SI), Z12
+	VFMADD231PD  Z8, Z11, Z6
+	VFMADD231PD  Z8, Z12, Z7
+
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  loop512
+
+store512:
+	VMOVUPD Z0, 0(DX)
+	VMOVUPD Z1, 64(DX)
+	VMOVUPD Z2, 128(DX)
+	VMOVUPD Z3, 192(DX)
+	VMOVUPD Z4, 256(DX)
+	VMOVUPD Z5, 320(DX)
+	VMOVUPD Z6, 384(DX)
+	VMOVUPD Z7, 448(DX)
 	VZEROUPPER
 	RET

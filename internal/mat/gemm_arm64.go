@@ -1,0 +1,23 @@
+//go:build arm64 && !purego
+
+package mat
+
+// microNEON8x4Asm computes the 8×4 product tile dst = Ap·Bp over kc packed
+// k-steps: ap is an 8-row strip (k-major, 8 doubles per k), bp a 4-column
+// strip (k-major, 4 doubles per k), dst a row-major tile with stride 4
+// (implemented in gemm_arm64.s).
+//
+//go:noescape
+func microNEON8x4Asm(kc int, ap, bp, dst *float64)
+
+func microNEON(kc int, ap, bp []float64, tile *[maxMR * maxNR]float64) {
+	microNEON8x4Asm(kc, &ap[0], &bp[0], &tile[0])
+}
+
+// archKernels returns the NEON kernel. Advanced SIMD (NEON) with
+// double-precision FMLA is architecturally mandatory on AArch64, so no
+// runtime feature probe is needed — the kernel is gated only by the
+// PARSVD_NOASM / PARSVD_KERNEL overrides and the purego build tag.
+func archKernels() []*kernelCfg {
+	return []*kernelCfg{{name: "neon-8x4", mr: 8, nr: 4, micro: microNEON}}
+}

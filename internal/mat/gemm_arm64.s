@@ -1,0 +1,79 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// func microNEON8x4Asm(kc int, ap, bp, dst *float64)
+//
+// One 8×4 micro-tile of the blocked GEMM on NEON (Advanced SIMD): ap holds
+// an 8-row packed A strip (8 doubles per k-step), bp a 4-column packed B
+// strip (4 doubles per k-step). The 8×4 C tile lives in V0–V15 as 2-lane
+// float64 vectors — row i occupies V(2i) (columns 0:2) and V(2i+1)
+// (columns 2:4). Every k-step loads the 4 B doubles into V16–V17 and the
+// 8 A doubles into V20–V23, broadcasts each A lane with VDUP into V24–V31
+// (the Go assembler has no by-element FMLA form), and issues 16 vector
+// FMLAs. The finished tile is stored row-major to dst (32 doubles),
+// matching the write-back layout of the portable and amd64 kernels.
+TEXT ·microNEON8x4Asm(SB), NOSPLIT, $0-32
+	MOVD kc+0(FP), R0
+	MOVD ap+8(FP), R1
+	MOVD bp+16(FP), R2
+	MOVD dst+24(FP), R3
+
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+	VEOR V4.B16, V4.B16, V4.B16
+	VEOR V5.B16, V5.B16, V5.B16
+	VEOR V6.B16, V6.B16, V6.B16
+	VEOR V7.B16, V7.B16, V7.B16
+	VEOR V8.B16, V8.B16, V8.B16
+	VEOR V9.B16, V9.B16, V9.B16
+	VEOR V10.B16, V10.B16, V10.B16
+	VEOR V11.B16, V11.B16, V11.B16
+	VEOR V12.B16, V12.B16, V12.B16
+	VEOR V13.B16, V13.B16, V13.B16
+	VEOR V14.B16, V14.B16, V14.B16
+	VEOR V15.B16, V15.B16, V15.B16
+
+	CBZ R0, store
+
+loop:
+	VLD1.P 32(R2), [V16.D2, V17.D2]                   // b[0:4] for this k-step
+	VLD1.P 64(R1), [V20.D2, V21.D2, V22.D2, V23.D2]   // a[0:8] for this k-step
+
+	VDUP V20.D[0], V24.D2
+	VDUP V20.D[1], V25.D2
+	VDUP V21.D[0], V26.D2
+	VDUP V21.D[1], V27.D2
+	VDUP V22.D[0], V28.D2
+	VDUP V22.D[1], V29.D2
+	VDUP V23.D[0], V30.D2
+	VDUP V23.D[1], V31.D2
+
+	VFMLA V24.D2, V16.D2, V0.D2    // row 0
+	VFMLA V24.D2, V17.D2, V1.D2
+	VFMLA V25.D2, V16.D2, V2.D2    // row 1
+	VFMLA V25.D2, V17.D2, V3.D2
+	VFMLA V26.D2, V16.D2, V4.D2    // row 2
+	VFMLA V26.D2, V17.D2, V5.D2
+	VFMLA V27.D2, V16.D2, V6.D2    // row 3
+	VFMLA V27.D2, V17.D2, V7.D2
+	VFMLA V28.D2, V16.D2, V8.D2    // row 4
+	VFMLA V28.D2, V17.D2, V9.D2
+	VFMLA V29.D2, V16.D2, V10.D2   // row 5
+	VFMLA V29.D2, V17.D2, V11.D2
+	VFMLA V30.D2, V16.D2, V12.D2   // row 6
+	VFMLA V30.D2, V17.D2, V13.D2
+	VFMLA V31.D2, V16.D2, V14.D2   // row 7
+	VFMLA V31.D2, V17.D2, V15.D2
+
+	SUB  $1, R0, R0
+	CBNZ R0, loop
+
+store:
+	VST1.P [V0.D2, V1.D2, V2.D2, V3.D2], 64(R3)
+	VST1.P [V4.D2, V5.D2, V6.D2, V7.D2], 64(R3)
+	VST1.P [V8.D2, V9.D2, V10.D2, V11.D2], 64(R3)
+	VST1   [V12.D2, V13.D2, V14.D2, V15.D2], (R3)
+	RET

@@ -1,11 +1,7 @@
-//go:build !amd64 || purego
+//go:build (!amd64 && !arm64) || purego
 
 package mat
 
-// Without the AVX2/FMA assembly kernel every micro-tile runs through the
-// portable Go kernel.
-const useFMA = false
-
-func microFMA8x4(kc int, ap, bp, dst *float64) {
-	panic("mat: microFMA8x4 called without assembly support")
-}
+// archKernels: no assembly kernels on this platform/build; every product
+// runs through the portable Go reference kernel.
+func archKernels() []*kernelCfg { return nil }

@@ -110,26 +110,26 @@ func TestGEMMRandomizedShapes(t *testing.T) {
 
 // TestGEMMBlockedPathDirect drives the packed kernel below the small-product
 // cutoff, where Mul would route to the naive loop, so edge tiles of every
-// size are exercised in the blocked code itself.
+// size are exercised in the blocked code itself — on every kernel this CPU
+// can run.
 func TestGEMMBlockedPathDirect(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	for _, sh := range [][3]int{{1, 1, 1}, {2, 5, 3}, {4, 4, 4}, {7, 11, 13}, {5, 3, 17}} {
-		m, k, n := sh[0], sh[1], sh[2]
-		a := randomDense(m, k, rng)
-		b := randomDense(k, n, rng)
-		out := New(m, n)
-		bbuf, abuf := getPackBuf(), getPackBuf()
-		for pc := 0; pc < k; pc += kcBlock {
-			kc := min(kcBlock, k-pc)
-			bp := bbuf.grow(roundUp(n, nr) * kc)
-			packB(bp, b, pc, kc, 0, n, false)
-			dispatchRows(out, a, bp, pc, kc, 0, n, false, abuf)
+	for _, name := range AvailableKernels() {
+		restore, ok := ForceKernel(name)
+		if !ok {
+			t.Fatalf("ForceKernel(%q) refused an advertised kernel", name)
 		}
-		putPackBuf(bbuf)
-		putPackBuf(abuf)
-		if d := maxAbsDiff(out, refMul(a, b)); d > relTol(k, a, b) {
-			t.Errorf("%dx%dx%d: blocked kernel diverges by %g", m, k, n, d)
+		for _, sh := range [][3]int{{1, 1, 1}, {2, 5, 3}, {4, 4, 4}, {7, 11, 13}, {5, 3, 17}} {
+			m, k, n := sh[0], sh[1], sh[2]
+			a := randomDense(m, k, rng)
+			b := randomDense(k, n, rng)
+			out := New(m, n)
+			BlockedMulInto(out, a, b)
+			if d := maxAbsDiff(out, refMul(a, b)); d > relTol(k, a, b) {
+				t.Errorf("%s %dx%dx%d: blocked kernel diverges by %g", name, m, k, n, d)
+			}
 		}
+		restore()
 	}
 }
 

@@ -120,6 +120,11 @@ func checkDims(op string, m *Dense, r, c int) {
 	}
 }
 
+func dimPanic(op string, a, b *Dense) string {
+	return fmt.Sprintf("mat: %s dimension mismatch %dx%d * %dx%d",
+		op, a.rows, a.cols, b.rows, b.cols)
+}
+
 // ScaleInto computes dst = s*a without allocating. dst may alias a.
 func ScaleInto(dst *Dense, s float64, a *Dense) {
 	checkSameDims("ScaleInto", dst, a)

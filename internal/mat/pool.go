@@ -12,9 +12,14 @@ import (
 // and lets each worker keep a private, warm packing buffer.
 
 // gemmTask is one packed A-panel block of a blocked product. Tasks travel
-// by value on the channel, so dispatching allocates nothing.
+// by value on the channel, so dispatching allocates nothing. Each task
+// carries the kernelCfg it was dispatched with: packing-buffer geometry is
+// derived from that kernel's tile constants (an AVX-512 8×8 task and an
+// AVX2 8×4 task size their panels differently), and a concurrent kernel
+// switch can never tear a product in flight.
 type gemmTask struct {
 	out, a         *Dense
+	kern           *kernelCfg
 	bp             []float64
 	ic, mc, pc, kc int
 	jc, nc         int
@@ -23,9 +28,9 @@ type gemmTask struct {
 }
 
 func (t *gemmTask) run(buf *packBuf) {
-	ap := buf.grow(roundUp(t.mc, mr) * t.kc)
-	packA(ap, t.a, t.ic, t.mc, t.pc, t.kc, t.transA)
-	macroKernel(t.out, ap, t.bp, t.ic, t.mc, t.jc, t.nc, t.kc)
+	ap := buf.grow(roundUp(t.mc, t.kern.mr) * t.kc)
+	packA(ap, t.kern.mr, t.a, t.ic, t.mc, t.pc, t.kc, t.transA)
+	macroKernel(t.out, t.kern, ap, t.bp, t.ic, t.mc, t.jc, t.nc, t.kc, &buf.tile)
 }
 
 var kernelPool struct {
@@ -48,19 +53,15 @@ func startKernelPool() {
 	}
 }
 
-// parallelFlopThreshold is the approximate flop count above which a product
-// is split across the worker pool. Below it the dispatch overhead dominates
-// any speedup.
-const parallelFlopThreshold = 1 << 20
-
 // dispatchRows runs the mc-blocked ic loop of one (jc, pc) panel pair,
 // either inline (small problems, single-CPU processes) or fanned out across
-// the persistent pool.
-func dispatchRows(out, a *Dense, bp []float64, pc, kc, jc, nc int, transA bool, inlineBuf *packBuf) {
+// the persistent pool. The fan-out threshold comes from the dispatched
+// kernel's selection-table entry.
+func dispatchRows(out, a *Dense, kern *kernelCfg, bp []float64, pc, kc, jc, nc int, transA bool, inlineBuf *packBuf) {
 	kernelPool.once.Do(startKernelPool)
 	m := out.rows
-	t := gemmTask{out: out, a: a, bp: bp, pc: pc, kc: kc, jc: jc, nc: nc, transA: transA}
-	if kernelPool.workers < 2 || m*nc*kc < parallelFlopThreshold || m <= mcBlock {
+	t := gemmTask{out: out, a: a, kern: kern, bp: bp, pc: pc, kc: kc, jc: jc, nc: nc, transA: transA}
+	if kernelPool.workers < 2 || m*nc*kc < sel.ParallelFlops || m <= mcBlock {
 		for ic := 0; ic < m; ic += mcBlock {
 			t.ic, t.mc = ic, min(mcBlock, m-ic)
 			t.run(inlineBuf)
@@ -80,9 +81,14 @@ func dispatchRows(out, a *Dense, bp []float64, pc, kc, jc, nc int, transA bool, 
 
 var waitGroupPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
 
-// packBuf is a grow-only scratch buffer for packed operand panels.
+// packBuf is a grow-only scratch buffer for packed operand panels. It also
+// hosts the micro-tile accumulator target: the tile must live in reused
+// storage because the indirect kern.micro call would otherwise force a
+// stack-declared tile to escape — a heap allocation per macro-kernel call,
+// which the 0 allocs/op streaming gate forbids.
 type packBuf struct {
 	data []float64
+	tile [maxMR * maxNR]float64
 }
 
 // grow returns the first n elements of the buffer, reallocating only when

@@ -67,6 +67,9 @@ type SVD struct {
 	// ws recycles every temporary of the update across iterations; once
 	// batch shapes are steady the per-batch update allocates nothing.
 	ws mat.Workspace
+	// pb batches the tall mode-update products into row panels sharing one
+	// packed right-hand side; its headers are recycled alongside ws.
+	pb mat.PanelBatch
 }
 
 // New returns an empty streaming SVD with the given options.
@@ -166,7 +169,7 @@ func (s *SVD) Initialize(a *mat.Dense) *SVD {
 	usub := s.ws.GetUninit(ui.Rows(), k)
 	ui.SliceColsInto(usub, 0, k)
 	s.modes = s.ws.GetUninit(m, k)
-	mat.MulInto(s.modes, q, usub)
+	s.pb.MulInto(s.modes, q, usub)
 	s.ws.Put(usub)
 	s.ws.Put(ui)
 	s.ws.Put(q)
@@ -213,7 +216,7 @@ func (s *SVD) IncorporateData(a *mat.Dense) *SVD {
 	usub := s.ws.GetUninit(utilde.Rows(), k)
 	utilde.SliceColsInto(usub, 0, k)
 	next := s.ws.GetUninit(m, k)
-	mat.MulInto(next, udash, usub)
+	s.pb.MulInto(next, udash, usub)
 	s.ws.Put(usub)
 	s.ws.Put(utilde)
 	s.ws.Put(udash)
