@@ -5,7 +5,7 @@ GO ?= go
 # benchstat wants repeated samples; `make bench BENCH_COUNT=10` feeds it.
 BENCH_COUNT ?= 1
 
-.PHONY: check build test vet fmt race smoke dist-smoke serve-smoke crash-smoke examples examples-gate bench bench-gate bench-stream bench-trajectory bench-baseline benchtune noasm-test worker fuzz-smoke
+.PHONY: check build test vet fmt race smoke dist-smoke serve-smoke crash-smoke merge-smoke examples examples-gate bench bench-gate bench-stream bench-trajectory bench-baseline benchtune noasm-test worker fuzz-smoke
 
 check: build test vet fmt
 
@@ -73,6 +73,18 @@ crash-smoke:
 	$(GO) test -run 'TestCrashRecoverySIGKILL' -v -count 1 ./server
 	$(GO) test -count 1 ./internal/wal
 
+# Merge conformance gate: a fit sharded across 2/4/8 independent engines
+# and reduced through the pairwise merge tree must match the monolithic
+# serial fit within 1e-10 on every Source kind, and the tree shape
+# (balanced vs left-deep) must change results only within the accumulated
+# error bound. The internal/merge unit + property suite and the
+# server-side merge tests (corrupt uploads, WAL merge-record replay,
+# SIGKILL around /merge) ride along.
+merge-smoke:
+	$(GO) test -run 'TestMergeConformance' -v -count 1 .
+	$(GO) test -count 1 ./internal/merge
+	$(GO) test -run 'TestMerge|TestCrashRecoveryMergeSIGKILL' -count 1 ./server
+
 # Public-API consumer gate: every example must build against the public
 # packages only, quickstart must run end-to-end, and neither examples/
 # nor README code blocks may import goparsvd/internal.
@@ -91,19 +103,21 @@ examples-gate:
 # benchstat-compatible output: standard `go test -bench` lines; pipe two
 # runs into `benchstat old.txt new.txt`.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) ./internal/mat ./internal/linalg ./internal/stream
+	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) ./internal/mat ./internal/linalg ./internal/stream ./internal/merge
 
 bench-stream:
 	$(GO) test -run '^$$' -bench Incorporate -benchmem ./internal/stream
 
 # Regression gate on the key benches: the blocked-GEMM kernel, the batched
-# skinny-GEMM path and the zero-allocation streaming hot path. Fails if
-# either zero-alloc benchmark reports any allocations per op.
+# skinny-GEMM path, the zero-allocation streaming hot path and the
+# zero-allocation pairwise merge. Fails if any zero-alloc benchmark
+# reports allocations per op.
 bench-gate:
 	@fail=0; \
 	mat=$$($(GO) test -run '^$$' -bench 'BenchmarkMulSquare512$$|BenchmarkBatchedSkinny$$' -benchmem ./internal/mat) || fail=1; \
 	stream=$$($(GO) test -run '^$$' -bench 'BenchmarkIncorporateSteadyStateAllocs$$' -benchmem ./internal/stream) || fail=1; \
-	out=$$(printf '%s\n%s\n' "$$mat" "$$stream"); \
+	merge=$$($(GO) test -run '^$$' -bench 'BenchmarkMergePairSteadyState$$' -benchmem ./internal/merge) || fail=1; \
+	out=$$(printf '%s\n%s\n%s\n' "$$mat" "$$stream" "$$merge"); \
 	echo "$$out"; \
 	if [ $$fail -ne 0 ]; then echo "bench-gate: benchmarks failed"; exit 1; fi; \
 	echo "$$out" | awk ' \
@@ -113,18 +127,23 @@ bench-gate:
 		/^BenchmarkBatchedSkinny/ { \
 			for (i = 1; i <= NF; i++) if ($$i == "allocs/op") { seenB = 1; allocsB = $$(i-1) } \
 		} \
+		/^BenchmarkMergePairSteadyState/ { \
+			for (i = 1; i <= NF; i++) if ($$i == "allocs/op") { seenM = 1; allocsM = $$(i-1) } \
+		} \
 		END { \
 			if (!seenS) { print "bench-gate: BenchmarkIncorporateSteadyStateAllocs did not run"; exit 1 } \
 			if (!seenB) { print "bench-gate: BenchmarkBatchedSkinny did not run"; exit 1 } \
+			if (!seenM) { print "bench-gate: BenchmarkMergePairSteadyState did not run"; exit 1 } \
 			if (allocsS + 0 > 0) { print "bench-gate: steady-state streaming path allocates (" allocsS " allocs/op, want 0)"; exit 1 } \
 			if (allocsB + 0 > 0) { print "bench-gate: batched skinny path allocates (" allocsB " allocs/op, want 0)"; exit 1 } \
-			print "bench-gate OK: streaming " allocsS " allocs/op, batched " allocsB " allocs/op" \
+			if (allocsM + 0 > 0) { print "bench-gate: steady-state merge path allocates (" allocsM " allocs/op, want 0)"; exit 1 } \
+			print "bench-gate OK: streaming " allocsS " allocs/op, batched " allocsB " allocs/op, merge " allocsM " allocs/op" \
 		}'
 
 # The benchmark set the trajectory record tracks: kernel-level GEMM, the
-# batched path and the streaming hot loop. Kept in one place so emitting a
-# baseline and emitting a CI run measure the same thing.
-TRAJ_BENCH = BenchmarkMulIntoSquare256$$|BenchmarkMulSquare512$$|BenchmarkMulTallSkinny$$|BenchmarkBatchedSkinny$$|BenchmarkIncorporateSteadyStateAllocs$$
+# batched path, the streaming hot loop and the pairwise merge. Kept in one
+# place so emitting a baseline and emitting a CI run measure the same thing.
+TRAJ_BENCH = BenchmarkMulIntoSquare256$$|BenchmarkMulSquare512$$|BenchmarkMulTallSkinny$$|BenchmarkBatchedSkinny$$|BenchmarkIncorporateSteadyStateAllocs$$|BenchmarkMergePairSteadyState$$|BenchmarkMergeTree8$$
 TRAJ_COUNT ?= 5
 RUNID ?= local
 
@@ -133,7 +152,7 @@ RUNID ?= local
 # (same environment) or any alloc increase (any environment) fails.
 bench-trajectory:
 	$(GO) test -run '^$$' -bench '$(TRAJ_BENCH)' -benchmem -count $(TRAJ_COUNT) \
-		./internal/mat ./internal/stream \
+		./internal/mat ./internal/stream ./internal/merge \
 		| $(GO) run ./cmd/parsvd-benchtraj emit -runid "$(RUNID)" -o BENCH_$(RUNID).json
 	$(GO) run ./cmd/parsvd-benchtraj compare -baseline BENCH_baseline.json -current BENCH_$(RUNID).json
 
@@ -141,7 +160,7 @@ bench-trajectory:
 # performance changes, then commit BENCH_baseline.json).
 bench-baseline:
 	$(GO) test -run '^$$' -bench '$(TRAJ_BENCH)' -benchmem -count $(TRAJ_COUNT) \
-		./internal/mat ./internal/stream \
+		./internal/mat ./internal/stream ./internal/merge \
 		| $(GO) run ./cmd/parsvd-benchtraj emit -runid baseline -o BENCH_baseline.json
 
 # Re-measure the kernel selection thresholds on this machine and rewrite

@@ -22,9 +22,14 @@ func Load(r io.Reader) (*SVD, error) {
 	if r == nil {
 		return nil, errors.New("parsvd: Load with nil reader")
 	}
-	eng, err := core.LoadSerial(r)
+	st, err := core.ReadState(r)
 	if err != nil {
 		return nil, fmt.Errorf("parsvd: %w", err)
+	}
+	eng, err := core.RestoreSerial(st.Opts, st.Modes, st.Singular,
+		st.Iterations, st.Snapshots)
+	if err != nil {
+		return nil, fmt.Errorf("parsvd: %w: %v", ErrBadCheckpoint, err)
 	}
 	opts := eng.Options()
 	cfg := defaultConfig()
@@ -34,6 +39,9 @@ func Load(r io.Reader) (*SVD, error) {
 	cfg.rlaOpts = opts.RLA
 	cfg.r1 = opts.R1
 	cfg.method = opts.Method
+	// A shard-stamped checkpoint resumes as the same shard: its saves
+	// keep the mark and merges keep refusing its siblings' duplicates.
+	cfg.shard = st.Shard
 	s := &SVD{cfg: cfg, eng: restoredSerialEngine(eng)}
 	// Rehydrate the ingest counters so Stats keeps reporting across a
 	// checkpoint/restore boundary.

@@ -1,0 +1,109 @@
+// Command parsvd-merge reduces shard-local checkpoint files into one
+// model: each input is a checkpoint written by parsvd.Save (typically
+// from a fit over one shard of a partitioned snapshot set, stamped with
+// parsvd.WithShard), and the output is the checkpoint of their pairwise
+// Iwen–Ong merge.
+//
+// By default the shards combine up a balanced merge tree
+// (parsvd.MergeCheckpoints); -left-deep instead folds them one at a
+// time into the first checkpoint, which uses less peak memory but a
+// deeper tree. Either way the tool prints the merged spectrum, the
+// ingest counters, and the accumulated truncation bound — zero when
+// every merge was exact (effective rank ≤ K throughout).
+//
+//	parsvd-merge -o merged.ckpt shard0.ckpt shard1.ckpt shard2.ckpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	parsvd "goparsvd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("parsvd-merge: ")
+
+	var (
+		out      = flag.String("o", "", "write the merged checkpoint here (omit to only report)")
+		leftDeep = flag.Bool("left-deep", false, "fold shards sequentially instead of up a balanced tree")
+		quiet    = flag.Bool("q", false, "suppress the spectrum listing")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: parsvd-merge [-o merged.ckpt] [-left-deep] shard.ckpt...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	paths := flag.Args()
+	if len(paths) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	svd, err := mergeAll(paths, *leftDeep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := svd.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats := svd.Stats()
+	fmt.Printf("merged %d checkpoints: %d x %d modes, %d snapshots, %d updates\n",
+		len(paths), res.Modes.Rows(), res.Modes.Cols(), stats.Snapshots, stats.Updates)
+	fmt.Printf("truncation bound: %.6e\n", svd.MergeBound())
+	if !*quiet {
+		for i, sv := range res.Singular {
+			fmt.Printf("  sigma[%2d] = %.12e\n", i+1, sv)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := svd.Save(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("merged checkpoint written to %s\n", *out)
+	}
+}
+
+// mergeAll combines the checkpoints either up a balanced tree or as a
+// left-deep fold into the first one.
+func mergeAll(paths []string, leftDeep bool) (*parsvd.SVD, error) {
+	if !leftDeep {
+		return parsvd.MergeCheckpoints(paths...)
+	}
+	f, err := os.Open(paths[0])
+	if err != nil {
+		return nil, err
+	}
+	svd, err := parsvd.Load(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", paths[0], err)
+	}
+	for _, p := range paths[1:] {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		err = svd.Merge(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+	}
+	return svd, nil
+}

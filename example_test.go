@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	parsvd "goparsvd"
 )
@@ -142,6 +144,124 @@ func ExampleSVD_Push_distributedBackend() {
 	// snapshots: 4, updates: 1, fingerprinted: true
 	// 5.0 3.0 2.0 1.0
 	// restored rows: 6
+}
+
+// WithShards fits the stream as n independent shard-local
+// decompositions — batches dealt round-robin — and reduces them through
+// the pairwise merge tree when the stream ends. With forget factor 1
+// and K at least the effective rank, the result matches the monolithic
+// fit to rounding error.
+func ExampleWithShards() {
+	svd, err := parsvd.New(parsvd.WithModes(4), parsvd.WithShards(2))
+	if err != nil {
+		panic(err)
+	}
+	res, err := svd.Fit(context.Background(), parsvd.FromMatrix(plantedSnapshots(), 1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("snapshots: %d, merge bound: %.1f\n", res.Snapshots, svd.MergeBound())
+	for _, s := range res.Singular {
+		fmt.Printf("%.1f ", s)
+	}
+	fmt.Println()
+	// Output:
+	// snapshots: 4, merge bound: 0.0
+	// 5.0 3.0 2.0 1.0
+}
+
+// MergeCheckpoints reduces shard-local checkpoint files — each the Save
+// of an independent fit over one piece of the snapshot set, stamped
+// with its place in the partitioning via WithShard — into one serial
+// model, combining them up a balanced pairwise merge tree.
+func ExampleMergeCheckpoints() {
+	dir, err := os.MkdirTemp("", "parsvd-merge-example")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Two shard-local fits over disjoint column halves.
+	a := plantedSnapshots()
+	paths := make([]string, 2)
+	for i := range paths {
+		shard, err := parsvd.New(parsvd.WithModes(4), parsvd.WithShard(i, 2))
+		if err != nil {
+			panic(err)
+		}
+		if _, err := shard.Fit(context.Background(), parsvd.FromMatrix(a.SliceCols(2*i, 2*i+2), 2)); err != nil {
+			panic(err)
+		}
+		paths[i] = filepath.Join(dir, fmt.Sprintf("shard%d.ckpt", i))
+		f, err := os.Create(paths[i])
+		if err != nil {
+			panic(err)
+		}
+		if err := shard.Save(f); err != nil {
+			panic(err)
+		}
+		f.Close()
+	}
+
+	merged, err := parsvd.MergeCheckpoints(paths...)
+	if err != nil {
+		panic(err)
+	}
+	st := merged.Stats()
+	fmt.Printf("snapshots: %d, rows: %d, bound: %.1f\n", st.Snapshots, st.Rows, merged.MergeBound())
+	res, err := merged.Result()
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range res.Singular {
+		fmt.Printf("%.1f ", s)
+	}
+	fmt.Println()
+	// Output:
+	// snapshots: 4, rows: 6, bound: 0.0
+	// 5.0 3.0 2.0 1.0
+}
+
+// Merge absorbs one shard's checkpoint into a live model: here the
+// model fit the first half of the columns and merges a sibling's fit of
+// the second half, recovering the full planted spectrum.
+func ExampleSVD_Merge() {
+	a := plantedSnapshots()
+
+	sibling, err := parsvd.New(parsvd.WithModes(4), parsvd.WithShard(1, 2))
+	if err != nil {
+		panic(err)
+	}
+	if _, err := sibling.Fit(context.Background(), parsvd.FromMatrix(a.SliceCols(2, 4), 2)); err != nil {
+		panic(err)
+	}
+	var ckpt bytes.Buffer
+	if err := sibling.Save(&ckpt); err != nil {
+		panic(err)
+	}
+
+	svd, err := parsvd.New(parsvd.WithModes(4), parsvd.WithShard(0, 2))
+	if err != nil {
+		panic(err)
+	}
+	if _, err := svd.Fit(context.Background(), parsvd.FromMatrix(a.SliceCols(0, 2), 2)); err != nil {
+		panic(err)
+	}
+	if err := svd.Merge(&ckpt); err != nil {
+		panic(err)
+	}
+	res, err := svd.Result()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("snapshots: %d\n", res.Snapshots)
+	for _, s := range res.Singular {
+		fmt.Printf("%.1f ", s)
+	}
+	fmt.Println()
+	// Output:
+	// snapshots: 4
+	// 5.0 3.0 2.0 1.0
 }
 
 // Push is the incremental alternative to Fit, and Save/Load round-trip

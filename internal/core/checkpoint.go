@@ -26,27 +26,78 @@ import (
 
 var checkpointMagic = [4]byte{'G', 'P', 'S', 'V'}
 
-const checkpointVersion = 1
+// Version 1 is the original layout; version 2 appends the shard
+// provenance pair (index, count) to the metadata block. A writer emits
+// the oldest version that can represent the state — zero provenance
+// still writes byte-identical version-1 checkpoints — and the reader
+// accepts both.
+const (
+	checkpointVersion   = 1
+	checkpointVersionV2 = 2
+)
 
 // ErrBadCheckpoint is returned when restoring from data that is not a
 // goparsvd checkpoint or is structurally damaged.
 var ErrBadCheckpoint = errors.New("core: not a valid goparsvd checkpoint")
 
+// ShardID records which shard of a partitioned fit produced a
+// checkpoint: shard Index of Count disjoint snapshot subsets. The zero
+// value means "unknown / whole stream" and is what every non-sharded
+// save writes. Merge validation uses it to refuse re-absorbing the same
+// shard twice (disjointness is Index-distinctness at equal Count).
+type ShardID struct {
+	Index int
+	Count int
+}
+
+// IsZero reports an absent provenance mark.
+func (id ShardID) IsZero() bool { return id == ShardID{} }
+
+// Validate checks the structural invariants (0 <= Index < Count).
+func (id ShardID) Validate() error {
+	if id.IsZero() {
+		return nil
+	}
+	if id.Count < 1 || id.Index < 0 || id.Index >= id.Count {
+		return fmt.Errorf("core: shard %d of %d out of range", id.Index, id.Count)
+	}
+	return nil
+}
+
+// State is the complete serialized form of a streaming decomposition:
+// everything a checkpoint carries. Modes is adopted without copying by
+// both WriteState and the engines restored from a State.
+type State struct {
+	Opts       Options
+	Modes      *mat.Dense
+	Singular   []float64
+	Iterations int
+	Snapshots  int
+	// Shard is the provenance mark of a shard-local fit (zero for a
+	// whole-stream model).
+	Shard ShardID
+}
+
 // Save serializes the serial engine's full state. The engine must be
 // initialized.
 func (s *Serial) Save(w io.Writer) error {
 	s.svd.Modes() // panics with a clear message if not initialized
-	return writeCheckpoint(w, s.opts, s.svd.Modes(), s.svd.SingularValues(),
-		s.svd.Iterations(), s.svd.SnapshotsSeen())
+	return WriteState(w, State{
+		Opts:       s.opts,
+		Modes:      s.svd.Modes(),
+		Singular:   s.svd.SingularValues(),
+		Iterations: s.svd.Iterations(),
+		Snapshots:  s.svd.SnapshotsSeen(),
+	})
 }
 
 // LoadSerial reconstructs a serial engine from a checkpoint.
 func LoadSerial(r io.Reader) (*Serial, error) {
-	opts, modes, singular, iters, snaps, err := readCheckpoint(r)
+	st, err := ReadState(r)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := RestoreSerial(opts, modes, singular, iters, snaps)
+	eng, err := RestoreSerial(st.Opts, st.Modes, st.Singular, st.Iterations, st.Snapshots)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 	}
@@ -80,7 +131,13 @@ func RestoreSerial(opts Options, modes *mat.Dense, singular []float64,
 // rank must save (and later reload) its own checkpoint.
 func (p *Parallel) Save(w io.Writer) error {
 	p.mustBeInitialized()
-	return writeCheckpoint(w, p.opts, p.ulocal, p.singular, p.iteration, p.snapshots)
+	return WriteState(w, State{
+		Opts:       p.opts,
+		Modes:      p.ulocal,
+		Singular:   p.singular,
+		Iterations: p.iteration,
+		Snapshots:  p.snapshots,
+	})
 }
 
 // LoadParallel reconstructs one rank of a parallel engine from that rank's
@@ -89,31 +146,31 @@ func LoadParallel(c *mpi.Comm, r io.Reader) (*Parallel, error) {
 	if c == nil {
 		return nil, errors.New("core: LoadParallel needs a communicator")
 	}
-	opts, modes, singular, iters, snaps, err := readCheckpoint(r)
+	st, err := ReadState(r)
 	if err != nil {
 		return nil, err
 	}
-	if err := opts.Validate(); err != nil {
+	if err := st.Opts.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 	}
-	if opts.K < len(singular) {
+	if st.Opts.K < len(st.Singular) {
 		return nil, fmt.Errorf("%w: %d singular values exceed K = %d",
-			ErrBadCheckpoint, len(singular), opts.K)
+			ErrBadCheckpoint, len(st.Singular), st.Opts.K)
 	}
-	if modes.Rows() < 1 || modes.Cols() < 1 {
+	if st.Modes.Rows() < 1 || st.Modes.Cols() < 1 {
 		return nil, fmt.Errorf("%w: empty %dx%d modes", ErrBadCheckpoint,
-			modes.Rows(), modes.Cols())
+			st.Modes.Rows(), st.Modes.Cols())
 	}
-	eng := NewParallel(c, opts)
-	eng.ulocal = modes
-	eng.singular = singular
-	eng.rows = modes.Rows()
-	eng.iteration = iters
-	eng.snapshots = snaps
+	eng := NewParallel(c, st.Opts)
+	eng.ulocal = st.Modes
+	eng.singular = st.Singular
+	eng.rows = st.Modes.Rows()
+	eng.iteration = st.Iterations
+	eng.snapshots = st.Snapshots
 	return eng, nil
 }
 
-// writeCheckpoint emits the binary layout:
+// WriteState emits the binary layout:
 //
 //	magic[4] version[1]
 //	K, iterations, snapshots            int64
@@ -121,111 +178,135 @@ func LoadParallel(c *mpi.Comm, r io.Reader) (*Parallel, error) {
 //	lowRank                             uint8
 //	rla: oversample, powerIters, seed   int64
 //	r1, method                          int64
+//	shardIndex, shardCount              int64  (version 2 only)
 //	rows, cols                          int64
 //	singular values                     cols × float64
 //	modes, row-major                    rows·cols × float64
-func writeCheckpoint(w io.Writer, opts Options, modes *mat.Dense,
-	singular []float64, iterations, snapshots int) error {
+//
+// A zero Shard writes version 1 (byte-identical to the original format,
+// pinned by the golden fixture); a non-zero Shard writes version 2.
+func WriteState(w io.Writer, st State) error {
+	if err := st.Shard.Validate(); err != nil {
+		return fmt.Errorf("core: checkpoint write: %w", err)
+	}
+	version := uint8(checkpointVersion)
+	if !st.Shard.IsZero() {
+		version = checkpointVersionV2
+	}
 	if _, err := w.Write(checkpointMagic[:]); err != nil {
 		return fmt.Errorf("core: checkpoint write: %w", err)
 	}
-	if _, err := w.Write([]byte{checkpointVersion}); err != nil {
+	if _, err := w.Write([]byte{version}); err != nil {
 		return fmt.Errorf("core: checkpoint write: %w", err)
 	}
-	rows, cols := modes.Dims()
-	if cols != len(singular) {
+	rows, cols := st.Modes.Dims()
+	if cols != len(st.Singular) {
 		return fmt.Errorf("core: checkpoint state inconsistent: %d modes, %d values",
-			cols, len(singular))
+			cols, len(st.Singular))
 	}
 	lowRank := uint8(0)
-	if opts.LowRank {
+	if st.Opts.LowRank {
 		lowRank = 1
 	}
 	ints := []int64{
-		int64(opts.K), int64(iterations), int64(snapshots),
+		int64(st.Opts.K), int64(st.Iterations), int64(st.Snapshots),
 	}
 	for _, v := range ints {
 		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
 			return fmt.Errorf("core: checkpoint write: %w", err)
 		}
 	}
-	if err := binary.Write(w, binary.LittleEndian, opts.ForgetFactor); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, st.Opts.ForgetFactor); err != nil {
 		return fmt.Errorf("core: checkpoint write: %w", err)
 	}
 	if _, err := w.Write([]byte{lowRank}); err != nil {
 		return fmt.Errorf("core: checkpoint write: %w", err)
 	}
 	meta := []int64{
-		int64(opts.RLA.Oversample), int64(opts.RLA.PowerIters), opts.RLA.Seed,
-		int64(opts.R1), int64(opts.Method),
-		int64(rows), int64(cols),
+		int64(st.Opts.RLA.Oversample), int64(st.Opts.RLA.PowerIters), st.Opts.RLA.Seed,
+		int64(st.Opts.R1), int64(st.Opts.Method),
 	}
+	if version == checkpointVersionV2 {
+		meta = append(meta, int64(st.Shard.Index), int64(st.Shard.Count))
+	}
+	meta = append(meta, int64(rows), int64(cols))
 	for _, v := range meta {
 		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
 			return fmt.Errorf("core: checkpoint write: %w", err)
 		}
 	}
-	if err := binary.Write(w, binary.LittleEndian, singular); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, st.Singular); err != nil {
 		return fmt.Errorf("core: checkpoint write: %w", err)
 	}
-	if err := binary.Write(w, binary.LittleEndian, modes.RawData()); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, st.Modes.RawData()); err != nil {
 		return fmt.Errorf("core: checkpoint write: %w", err)
 	}
 	return nil
 }
 
-func readCheckpoint(r io.Reader) (opts Options, modes *mat.Dense,
-	singular []float64, iterations, snapshots int, err error) {
+// ReadState parses either checkpoint version, validating shape and
+// option sanity but not the engine-level restore invariants (those run
+// in RestoreSerial / stream.Restore).
+func ReadState(r io.Reader) (State, error) {
+	var st State
 	var head [5]byte
-	if _, err = io.ReadFull(r, head[:]); err != nil {
-		return opts, nil, nil, 0, 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return st, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 	}
 	if [4]byte(head[:4]) != checkpointMagic {
-		return opts, nil, nil, 0, 0, ErrBadCheckpoint
+		return st, ErrBadCheckpoint
 	}
-	if head[4] != checkpointVersion {
-		return opts, nil, nil, 0, 0,
-			fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, head[4])
+	version := head[4]
+	if version != checkpointVersion && version != checkpointVersionV2 {
+		return st, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, version)
 	}
 	var ints [3]int64
 	for i := range ints {
-		if err = binary.Read(r, binary.LittleEndian, &ints[i]); err != nil {
-			return opts, nil, nil, 0, 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+		if err := binary.Read(r, binary.LittleEndian, &ints[i]); err != nil {
+			return st, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 		}
 	}
 	var ff float64
-	if err = binary.Read(r, binary.LittleEndian, &ff); err != nil {
-		return opts, nil, nil, 0, 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	if err := binary.Read(r, binary.LittleEndian, &ff); err != nil {
+		return st, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 	}
 	var lowRank [1]byte
-	if _, err = io.ReadFull(r, lowRank[:]); err != nil {
-		return opts, nil, nil, 0, 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	if _, err := io.ReadFull(r, lowRank[:]); err != nil {
+		return st, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 	}
-	var meta [7]int64
+	nmeta := 7
+	if version == checkpointVersionV2 {
+		nmeta = 9
+	}
+	meta := make([]int64, nmeta)
 	for i := range meta {
-		if err = binary.Read(r, binary.LittleEndian, &meta[i]); err != nil {
-			return opts, nil, nil, 0, 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+		if err := binary.Read(r, binary.LittleEndian, &meta[i]); err != nil {
+			return st, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 		}
 	}
-	rows, cols := meta[5], meta[6]
+	if version == checkpointVersionV2 {
+		st.Shard = ShardID{Index: int(meta[5]), Count: int(meta[6])}
+		if err := st.Shard.Validate(); err != nil {
+			return st, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+		}
+	}
+	rows, cols := meta[nmeta-2], meta[nmeta-1]
 	const maxCheckpointElems = int64(1) << 34 // 128 GiB of float64s: sanity bound
 	if rows < 0 || cols < 0 || rows*cols > maxCheckpointElems {
-		return opts, nil, nil, 0, 0,
-			fmt.Errorf("%w: implausible shape %dx%d", ErrBadCheckpoint, rows, cols)
+		return st, fmt.Errorf("%w: implausible shape %dx%d", ErrBadCheckpoint, rows, cols)
 	}
 	if ff <= 0 || ff > 1 || math.IsNaN(ff) {
-		return opts, nil, nil, 0, 0,
-			fmt.Errorf("%w: forget factor %g out of range", ErrBadCheckpoint, ff)
+		return st, fmt.Errorf("%w: forget factor %g out of range", ErrBadCheckpoint, ff)
 	}
-	singular = make([]float64, cols)
-	if err = binary.Read(r, binary.LittleEndian, singular); err != nil {
-		return opts, nil, nil, 0, 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	st.Singular = make([]float64, cols)
+	if err := binary.Read(r, binary.LittleEndian, st.Singular); err != nil {
+		return st, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 	}
 	data := make([]float64, rows*cols)
-	if err = binary.Read(r, binary.LittleEndian, data); err != nil {
-		return opts, nil, nil, 0, 0, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	if err := binary.Read(r, binary.LittleEndian, data); err != nil {
+		return st, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 	}
-	opts = Options{
+	st.Opts = Options{
 		K:            int(ints[0]),
 		ForgetFactor: ff,
 		LowRank:      lowRank[0] != 0,
@@ -237,6 +318,8 @@ func readCheckpoint(r io.Reader) (opts Options, modes *mat.Dense,
 		R1:     int(meta[3]),
 		Method: apmos.Method(meta[4]),
 	}
-	modes = mat.NewFromData(int(rows), int(cols), data)
-	return opts, modes, singular, int(ints[1]), int(ints[2]), nil
+	st.Iterations = int(ints[1])
+	st.Snapshots = int(ints[2])
+	st.Modes = mat.NewFromData(int(rows), int(cols), data)
+	return st, nil
 }

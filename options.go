@@ -86,6 +86,12 @@ type config struct {
 	transport    TransportConfig
 	transportSet bool
 	checkpoint   io.Writer
+
+	// shards > 1 makes Fit map-reduce the source across independent
+	// shard fits merged into one model; shard stamps this SVD's
+	// checkpoints as one shard-local fit of a partitioned stream.
+	shards int
+	shard  core.ShardID
 }
 
 func defaultConfig() config {
@@ -188,6 +194,42 @@ func WithTransport(t TransportConfig) Option {
 	}
 }
 
+// WithShards splits the fit into n independent shard-local
+// decompositions merged into one model: Fit deals the source's batches
+// round-robin across n engines of the configured backend (each shard
+// runs Serial, Parallel or Distributed exactly as a whole fit would) and
+// reduces the shard results up a balanced pairwise merge tree (Iwen &
+// Ong, arXiv 1601.07010). The result is an ordinary serial-resumable
+// model; MergeBound reports the accumulated truncation error of the
+// reduction. WithShards(1) is the ordinary unsharded fit.
+func WithShards(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("parsvd: WithShards(%d): need at least one shard", n)
+		}
+		c.shards = n
+		return nil
+	}
+}
+
+// WithShard marks this decomposition as shard index of count disjoint
+// snapshot subsets of one logical stream. The mark is carried into every
+// checkpoint this SVD writes, and merge validation uses it to refuse
+// absorbing the same shard twice. It does not change the computation.
+func WithShard(index, count int) Option {
+	return func(c *config) error {
+		id := core.ShardID{Index: index, Count: count}
+		if id.IsZero() {
+			return fmt.Errorf("parsvd: WithShard(0, 0): use index in [0, count)")
+		}
+		if err := id.Validate(); err != nil {
+			return fmt.Errorf("parsvd: WithShard(%d, %d): index must be in [0, count)", index, count)
+		}
+		c.shard = id
+		return nil
+	}
+}
+
 // WithCheckpoint arranges for Fit to serialize the final streaming state
 // to w (the same format as Save) after its source drains. On the
 // Distributed backend the checkpoint is gathered from the worker fleet
@@ -218,6 +260,9 @@ func (c *config) validate() error {
 	}
 	if c.transportSet && c.backend != Distributed {
 		return fmt.Errorf("parsvd: WithTransport only applies to the Distributed backend, not %v", c.backend)
+	}
+	if c.shards > 1 && !c.shard.IsZero() {
+		return fmt.Errorf("parsvd: WithShards and WithShard are mutually exclusive: a sharded fit merges to a whole-stream model, a shard mark brands one shard-local fit")
 	}
 	// The engine layers re-validate, but through the error-returning
 	// path: nothing a misconfigured New can reach panics.

@@ -43,6 +43,7 @@
 package parsvd
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -50,6 +51,7 @@ import (
 	"sync"
 	"time"
 
+	"goparsvd/internal/core"
 	"goparsvd/internal/mat"
 )
 
@@ -121,10 +123,17 @@ type Configuration struct {
 	// RLA is the sketch tuning; zero when LowRank is false or the
 	// defaults are in effect.
 	RLA RLA
+	// Shards is the WithShards map-reduce width (0 or 1 for an
+	// unsharded fit).
+	Shards int
 }
 
-// Configuration reports the effective options of this SVD.
+// Configuration reports the effective options of this SVD. A merge can
+// change the backend (a merged model always continues serially), so the
+// report reflects the SVD's current state, not just its construction.
 func (s *SVD) Configuration() Configuration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return Configuration{
 		Modes:        s.cfg.k,
 		ForgetFactor: s.cfg.ff,
@@ -133,6 +142,7 @@ func (s *SVD) Configuration() Configuration {
 		InitRank:     s.cfg.r1,
 		LowRank:      s.cfg.lowRank,
 		RLA:          s.cfg.rlaOpts,
+		Shards:       s.cfg.shards,
 	}
 }
 
@@ -198,6 +208,12 @@ type SVD struct {
 	rows      int
 	snapshots int
 	updates   int64
+
+	// Merge provenance: the shard marks absorbed so far (Merge refuses
+	// the same shard twice) and the accumulated Iwen–Ong truncation
+	// bound of every merge applied to this model.
+	absorbed   []core.ShardID
+	mergeBound float64
 }
 
 // New builds a decomposition from functional options. The zero
@@ -218,6 +234,12 @@ func New(opts ...Option) (*SVD, error) {
 		return nil, err
 	}
 	s := &SVD{cfg: cfg}
+	if cfg.shards > 1 {
+		// A sharded fit deals batches across independent engines of the
+		// configured backend and merges their results.
+		s.eng = newShardedEngine(cfg)
+		return s, nil
+	}
 	switch cfg.backend {
 	case Serial:
 		s.eng = newSerialEngine(cfg.coreOptions())
@@ -230,11 +252,20 @@ func New(opts ...Option) (*SVD, error) {
 	return s, nil
 }
 
-// Backend reports which execution mode this SVD was built with.
-func (s *SVD) Backend() Backend { return s.cfg.backend }
+// Backend reports the current execution mode: the one this SVD was built
+// with, or Serial after a Merge (a merged model continues serially).
+func (s *SVD) Backend() Backend {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.backend
+}
 
 // Ranks reports the world size (1 for the serial backend).
-func (s *SVD) Ranks() int { return s.cfg.ranks }
+func (s *SVD) Ranks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.ranks
+}
 
 // Fit drains src through the decomposition: the first batch seeds it
 // (Algorithm 1's initialization), every further batch is a streaming
@@ -301,7 +332,7 @@ func (s *SVD) Fit(ctx context.Context, src Source) (*Result, error) {
 		return nil, err
 	}
 	if s.cfg.checkpoint != nil {
-		if err := s.eng.save(s.cfg.checkpoint, res); err != nil {
+		if err := s.saveLocked(s.cfg.checkpoint, res); err != nil {
 			return nil, fmt.Errorf("parsvd: writing checkpoint: %w", err)
 		}
 	}
@@ -384,7 +415,28 @@ func (s *SVD) Save(w io.Writer) error {
 	if s.closed {
 		return errors.New("parsvd: Save on closed SVD")
 	}
-	return s.eng.save(w, nil)
+	return s.saveLocked(w, nil)
+}
+
+// saveLocked writes the engine checkpoint, stamping the WithShard
+// provenance mark into it when one is configured. Called with s.mu held.
+// The engines themselves always emit unmarked state (the version-1
+// layout), so the stamp is applied by re-encoding through the State
+// form; checkpoints are small relative to a fit, the copy is cheap.
+func (s *SVD) saveLocked(w io.Writer, res *Result) error {
+	if s.cfg.shard.IsZero() {
+		return s.eng.save(w, res)
+	}
+	var buf bytes.Buffer
+	if err := s.eng.save(&buf, res); err != nil {
+		return err
+	}
+	st, err := core.ReadState(&buf)
+	if err != nil {
+		return fmt.Errorf("parsvd: stamping shard provenance: %w", err)
+	}
+	st.Shard = s.cfg.shard
+	return core.WriteState(w, st)
 }
 
 // Close releases backend resources (the parallel backend's rank

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -79,6 +80,25 @@ type PushAck struct {
 	Version   uint64 `json:"version"`
 }
 
+// MergeRequest asks a model to absorb another decomposition through the
+// pairwise SVD merge. Exactly one source must be set: Model names
+// another model on this server (its current published view is
+// snapshotted into a checkpoint and absorbed), Checkpoint carries raw
+// goparsvd checkpoint bytes (base64 in JSON) — e.g. a shard-local fit
+// uploaded from another machine.
+type MergeRequest struct {
+	Model      string `json:"model,omitempty"`
+	Checkpoint []byte `json:"checkpoint,omitempty"`
+}
+
+// MergeAck confirms an applied merge: the target model's state after
+// absorbing the source, including the accumulated truncation bound.
+type MergeAck struct {
+	Snapshots  int     `json:"snapshots"`
+	Version    uint64  `json:"version"`
+	MergeBound float64 `json:"merge_bound"`
+}
+
 // SpectrumResponse carries the singular values of the current View. For
 // distributed models ModesSHA256 additionally fingerprints the gathered
 // mode matrix (dims plus row-major IEEE-754 bits), so clients can verify
@@ -147,6 +167,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/models/{name}", s.handleInfo)
 	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/models/{name}/push", s.handlePush)
+	s.mux.HandleFunc("POST /v1/models/{name}/merge", s.handleMerge)
 	s.mux.HandleFunc("GET /v1/models/{name}/spectrum", s.handleSpectrum)
 	s.mux.HandleFunc("GET /v1/models/{name}/modes", s.handleModes)
 	s.mux.HandleFunc("GET /v1/models/{name}/stats", s.handleStats)
@@ -284,6 +305,78 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 		ack := PushAck{}
 		if v := m.currentView(); v != nil {
 			ack = PushAck{Snapshots: v.Stats.Snapshots, Version: v.Version}
+		}
+		writeJSON(w, http.StatusOK, ack)
+	case <-r.Context().Done():
+		writeError(w, r.Context().Err())
+	}
+}
+
+// handleMerge absorbs another decomposition into the target model: a
+// named sibling model (its published view, snapshotted to checkpoint
+// form without touching its live engine) or uploaded checkpoint bytes.
+// The merge rides the target's single-writer ingest queue, so it is
+// ordered against pushes and covered by the same WAL durability barrier;
+// a corrupt or incompatible checkpoint is refused (400) after full
+// validation, with the target untouched and still serving.
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req MergeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	var ckpt []byte
+	switch {
+	case req.Model != "" && len(req.Checkpoint) > 0:
+		writeError(w, fmt.Errorf("server: merge takes a model name or checkpoint bytes, not both"))
+		return
+	case req.Model != "":
+		if req.Model == m.name {
+			writeError(w, fmt.Errorf("server: model %s cannot merge with itself: shards must be disjoint", m.name))
+			return
+		}
+		src, err := s.reg.get(req.Model)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		v, ok := viewOf(w, src)
+		if !ok {
+			return
+		}
+		if _, ok := modesOf(w, v); !ok {
+			return
+		}
+		var buf bytes.Buffer
+		if err := parsvd.WriteCheckpoint(&buf, src.svd.Configuration(), v.Result); err != nil {
+			writeError(w, err)
+			return
+		}
+		ckpt = buf.Bytes()
+	case len(req.Checkpoint) > 0:
+		ckpt = req.Checkpoint
+	default:
+		writeError(w, fmt.Errorf("server: merge needs a source: set model or checkpoint"))
+		return
+	}
+
+	mreq := &pushReq{mergeCkpt: ckpt, errc: make(chan error, 1)}
+	if err := m.enqueue(mreq); err != nil {
+		writeError(w, err)
+		return
+	}
+	select {
+	case err := <-mreq.errc:
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		ack := MergeAck{MergeBound: m.svd.MergeBound()}
+		if v := m.currentView(); v != nil {
+			ack.Snapshots, ack.Version = v.Stats.Snapshots, v.Version
 		}
 		writeJSON(w, http.StatusOK, ack)
 	case <-r.Context().Done():

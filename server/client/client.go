@@ -169,6 +169,18 @@ func (c *Client) Push(ctx context.Context, name string, batch *parsvd.Matrix) (s
 	return ack, err
 }
 
+// Merge absorbs another shard-local fit into the named model. The
+// request either names a source model on the same server (Model) or
+// carries raw checkpoint bytes produced by parsvd.Save /
+// parsvd.WriteCheckpoint (Checkpoint) — exactly one of the two. The
+// merge rides the model's ingest loop, so a 2xx ack means it is applied
+// (and durable, when the server runs a WAL).
+func (c *Client) Merge(ctx context.Context, name string, req server.MergeRequest) (server.MergeAck, error) {
+	var ack server.MergeAck
+	err := c.do(ctx, http.MethodPost, "/v1/models/"+name+"/merge", req, &ack)
+	return ack, err
+}
+
 // Spectrum fetches the singular values of the model's current view.
 func (c *Client) Spectrum(ctx context.Context, name string) (server.SpectrumResponse, error) {
 	var sp server.SpectrumResponse

@@ -2,6 +2,7 @@ package server_test
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 
 	parsvd "goparsvd"
 	"goparsvd/internal/launch"
+	"goparsvd/internal/testutil"
 	"goparsvd/server"
 	"goparsvd/server/client"
 )
@@ -294,6 +296,159 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 			p2.sigterm(t)
 			t.Logf("crash-smoke %s: killed after %d/%d acked pushes, recovered with max deviation %g",
 				tc.name, killAfter, len(batches), maxDiff)
+		})
+	}
+}
+
+// TestCrashRecoveryMergeSIGKILL is the merge half of the crash gate: a
+// real parsvd-serve process is SIGKILLed around a /merge and rebooted on
+// the same directory. The WAL makes the merge atomic-on-disk — the
+// absorbed checkpoint is one record, logged after the engine applied it
+// and before the ack — so recovery must land on exactly the pre-merge or
+// the post-merge state, never anything in between. Two phases: an acked
+// merge must survive the kill (durability), and a kill racing the merge
+// request must still recover to one of the two legal states (atomicity).
+func TestCrashRecoveryMergeSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash gate spawns real processes; skipped in -short")
+	}
+	bin := buildServe(t)
+	ctx := context.Background()
+
+	w := parsvd.DefaultWorkload()
+	w.RowsPerRank = 48
+	w.Snapshots = 96
+	w.InitBatch = 24
+	w.Batch = 12
+	w.K = 6
+	w.R1 = 12
+	w.FF = 1.0 // the merge operand is fit without recency weighting
+	batches := drainBatches(t, w, 1)
+	killAfter := (len(batches) * 3) / 5
+	acked := 0
+	for _, b := range batches[:killAfter] {
+		acked += b.Cols()
+	}
+
+	// The merge operand: a shard-local fit over a fresh rank-4 block with
+	// the model's row count, saved to checkpoint bytes once and reused for
+	// the server upload and both references.
+	shardData, _ := testutil.RandomLowRank(w.RowsPerRank, 16, 4, 0, testutil.NewRand(11))
+	ckpt := shardCheckpoint(t, shardData, 0, 16, w.K, 1, 2)
+	const mergeSnaps = 16
+
+	// preWant / postWant: uninterrupted in-process references for the two
+	// legal recovery states.
+	refSpectrum := func(withMerge bool) []float64 {
+		ref, err := parsvd.New(parsvd.WithModes(w.K), parsvd.WithForgetFactor(w.FF), parsvd.WithInitRank(w.R1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ref.Close()
+		for _, b := range batches[:killAfter] {
+			if err := ref.Push(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if withMerge {
+			if err := ref.Merge(bytes.NewReader(ckpt)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := ref.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Singular
+	}
+	preWant, postWant := refSpectrum(false), refSpectrum(true)
+
+	spectrumDiff := func(got, want []float64) float64 {
+		if len(got) != len(want) {
+			return math.Inf(1)
+		}
+		var max float64
+		for i := range want {
+			if d := math.Abs(got[i] - want[i]); d > max {
+				max = d
+			}
+		}
+		return max
+	}
+
+	for _, phase := range []struct {
+		name      string
+		waitAck   bool // kill only after the merge is acked
+		wantMerge string
+	}{
+		{name: "acked-merge-survives", waitAck: true, wantMerge: "post"},
+		{name: "racing-kill-atomic", waitAck: false, wantMerge: "either"},
+	} {
+		t.Run(phase.name, func(t *testing.T) {
+			dir := t.TempDir()
+			args := []string{
+				"-checkpoint-dir", dir,
+				"-checkpoint-interval", "1h",
+				"-fsync", "always",
+			}
+			p1 := startServe(t, bin, args, nil)
+			c1 := p1.client()
+			if _, err := c1.CreateModel(ctx, server.ModelSpec{
+				Name: "crash", Modes: w.K, ForgetFactor: w.FF, InitRank: w.R1,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range batches[:killAfter] {
+				if _, err := c1.Push(ctx, "crash", b); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			mergeDone := make(chan error, 1)
+			go func() {
+				_, err := c1.Merge(ctx, "crash", server.MergeRequest{Checkpoint: ckpt})
+				mergeDone <- err
+			}()
+			if phase.waitAck {
+				if err := <-mergeDone; err != nil {
+					t.Fatal(err)
+				}
+			}
+			p1.sigkill(t)
+
+			p2 := startServe(t, bin, args, nil)
+			c2 := p2.client()
+			info, err := c2.Model(ctx, "crash")
+			if err != nil {
+				t.Fatalf("model did not survive the crash: %v", err)
+			}
+			got, err := c2.Spectrum(ctx, "crash")
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			preDiff, postDiff := spectrumDiff(got.Singular, preWant), spectrumDiff(got.Singular, postWant)
+			switch {
+			case info.Stats.Snapshots == acked+mergeSnaps && postDiff <= 1e-12:
+				if phase.wantMerge == "pre" {
+					t.Fatalf("recovered to post-merge state, want pre-merge")
+				}
+				t.Logf("%s: recovered post-merge, deviation %g", phase.name, postDiff)
+			case info.Stats.Snapshots == acked && preDiff <= 1e-12:
+				if phase.wantMerge == "post" {
+					t.Fatalf("acked merge lost: recovered to pre-merge state")
+				}
+				t.Logf("%s: recovered pre-merge, deviation %g", phase.name, preDiff)
+			default:
+				t.Fatalf("recovered to a state that is neither pre- nor post-merge: %d snapshots (pre %d / post %d), deviation pre %g post %g",
+					info.Stats.Snapshots, acked, acked+mergeSnaps, preDiff, postDiff)
+			}
+
+			// The survivor keeps streaming.
+			if _, err := c2.Push(ctx, "crash", batches[killAfter]); err != nil {
+				t.Fatal(err)
+			}
+			p2.sigterm(t)
 		})
 	}
 }

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -60,12 +62,16 @@ type model struct {
 	replayedOnBoot  uint64
 }
 
-// pushReq is one queued snapshot batch. errc is buffered so the ingest
-// loop can always deliver the outcome, even when the submitting handler
-// has already given up (context canceled → 499) and gone away.
+// pushReq is one queued ingest operation: a snapshot batch, or — when
+// mergeCkpt is set — a checkpoint to absorb through SVD.Merge. Merges
+// ride the same single-writer queue as pushes, so the WAL ordering and
+// durability barrier apply to them unchanged. errc is buffered so the
+// ingest loop can always deliver the outcome, even when the submitting
+// handler has already given up (context canceled → 499) and gone away.
 type pushReq struct {
-	batch *parsvd.Matrix
-	errc  chan error
+	batch     *parsvd.Matrix
+	mergeCkpt []byte
+	errc      chan error
 }
 
 // newModel wires a model around an SVD but does not start its ingest
@@ -158,11 +164,21 @@ func (m *model) ingestLoop() {
 // MaxCoalesce to 1 (Config docs, `parsvd-serve -coalesce 1`).
 func (m *model) coalesce(first *pushReq) []*pushReq {
 	reqs := []*pushReq{first}
+	// A merge never coalesces with anything: it is one engine operation
+	// with its own WAL record, applied exactly at its queue position.
+	if first.mergeCkpt != nil {
+		return reqs
+	}
 	for len(reqs) < m.cfg.MaxCoalesce {
 		select {
 		case r := <-m.queue:
 			m.pending.Add(-1)
 			reqs = append(reqs, r)
+			if r.mergeCkpt != nil {
+				// The merge ends the micro-batch; apply handles it as its
+				// own run after the batches queued ahead of it.
+				return reqs
+			}
 		default:
 			return reqs
 		}
@@ -179,9 +195,14 @@ func (m *model) coalesce(first *pushReq) []*pushReq {
 // simply starts its own run and lets Push report the dimension error.
 func (m *model) apply(reqs []*pushReq) {
 	for start := 0; start < len(reqs); {
+		if reqs[start].mergeCkpt != nil {
+			m.applyMerge(reqs[start])
+			start++
+			continue
+		}
 		end := start + 1
 		rows := reqs[start].batch.Rows()
-		for end < len(reqs) && reqs[end].batch.Rows() == rows {
+		for end < len(reqs) && reqs[end].mergeCkpt == nil && reqs[end].batch.Rows() == rows {
 			end++
 		}
 		run := reqs[start:end]
@@ -200,7 +221,7 @@ func (m *model) apply(reqs []*pushReq) {
 			// The stacked batch is recorded exactly as the engine consumed
 			// it, so replay reproduces the same micro-batch boundaries —
 			// and with them the same forget-factor weighting — bit for bit.
-			err = m.logDurable(stacked)
+			err = m.logDurable(encodeBatchPayload(stacked))
 		}
 		if err == nil {
 			// A publish failure (poisoned parallel world during the
@@ -220,25 +241,60 @@ func (m *model) apply(reqs []*pushReq) {
 	}
 }
 
-// logDurable appends the applied micro-batch to the write-ahead log,
-// keyed by the engine's post-apply Updates counter — the same counter a
-// checkpoint carries, which is what lets replay-on-boot skip records a
-// checkpoint already covers. Under FsyncAlways the record is on stable
-// storage when this returns; under lazier policies the append is
-// buffered and the ack's meaning weakens accordingly (Config docs).
+// applyMerge absorbs a checkpoint into the model through SVD.Merge,
+// with the same durability barrier as a push: the merge record (the
+// absorbed checkpoint, verbatim) is in the WAL before the caller sees
+// its ack, so a crash at any point recovers to exactly the pre-merge
+// state (record not yet durable: replay stops before it) or the
+// post-merge state (record durable: replay re-applies it) — never a
+// partial merge. Merge itself validates the checkpoint fully before
+// touching the engine, so a corrupt upload is a clean refusal that
+// leaves the model serving.
+func (m *model) applyMerge(req *pushReq) {
+	err := m.svd.Merge(bytes.NewReader(req.mergeCkpt))
+	if err == nil {
+		err = m.logDurable(encodeMergePayload(req.mergeCkpt))
+	}
+	if err == nil {
+		err = m.publish()
+	} else if !isValidationError(err) {
+		// Only record engine/durability faults in the model health: a
+		// refused (incompatible or corrupt) checkpoint leaves the model
+		// fully healthy.
+		msg := err.Error()
+		m.ingestErr.Store(&msg)
+	}
+	req.errc <- err
+}
+
+// isValidationError recognizes merge refusals that leave the model
+// untouched, as opposed to faults of the model itself.
+func isValidationError(err error) bool {
+	return errors.Is(err, parsvd.ErrBadCheckpoint) ||
+		errors.Is(err, parsvd.ErrMergeIncompatible) ||
+		errors.Is(err, parsvd.ErrShardOverlap)
+}
+
+// logDurable appends an applied ingest record (a framed micro-batch or
+// merge payload) to the write-ahead log, keyed by the engine's
+// post-apply Updates counter — the same counter a checkpoint carries,
+// which is what lets replay-on-boot skip records a checkpoint already
+// covers. Under FsyncAlways the record is on stable storage when this
+// returns; under lazier policies the append is buffered and the ack's
+// meaning weakens accordingly (Config docs).
 //
 // A failed append leaves the engine ahead of the log, so the pushers of
 // this micro-batch get ErrNotDurable instead of an ack, and — because
 // the log refuses non-contiguous sequence numbers — every later push
 // fails the same way rather than silently widening the divergence: the
 // model is effectively read-only until the operator fixes the disk.
-func (m *model) logDurable(stacked *parsvd.Matrix) error {
+func (m *model) logDurable(payload []byte) error {
 	wlog := m.wlog.Load()
 	if wlog == nil {
 		return nil
 	}
 	seq := uint64(m.svd.Stats().Updates)
-	if err := wlog.Append(seq, encodeBatchPayload(stacked)); err != nil {
+	if err := wlog.Append(seq, payload); err != nil {
 		return fmt.Errorf("%w: %v", ErrNotDurable, err)
 	}
 	return nil

@@ -18,6 +18,7 @@
 package server
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -346,6 +347,12 @@ func (s *Server) restoreModel(name string) error {
 				return fmt.Errorf("wal resumes at seq %d but the checkpoint covers through %d (gap)", seq, expected)
 			}
 			expected = seq
+			// A merge record replays through Merge (re-absorbing the
+			// logged checkpoint), a batch record through Push — the same
+			// operations, in the same order, as the original ingest.
+			if isMergePayload(payload) {
+				return svd.Merge(bytes.NewReader(mergeCheckpoint(payload)))
+			}
 			batch, err := decodeBatchPayload(payload)
 			if err != nil {
 				return err

@@ -82,6 +82,28 @@ func encodeBatchPayload(b *parsvd.Matrix) []byte {
 	return tcptransport.AppendMessageBody(make([]byte, 0, 32+8*len(msg.Data)), msg)
 }
 
+// mergeMagic prefixes a WAL record that carries a merge instead of a
+// snapshot micro-batch: the payload is the magic followed by the
+// absorbed checkpoint bytes, verbatim. The prefix cannot collide with a
+// batch record: a batch payload is a tcptransport message body, whose
+// first 8 bytes are the little-endian Tag — always zero for ingest
+// batches — while the magic is 8 non-zero ASCII bytes.
+var mergeMagic = []byte("GPSVMERG")
+
+// encodeMergePayload frames an applied merge for the WAL: replaying it
+// re-applies the exact same checkpoint through parsvd.SVD.Merge.
+func encodeMergePayload(ckpt []byte) []byte {
+	return append(append(make([]byte, 0, len(mergeMagic)+len(ckpt)), mergeMagic...), ckpt...)
+}
+
+// isMergePayload distinguishes merge records from batch records.
+func isMergePayload(payload []byte) bool {
+	return len(payload) >= len(mergeMagic) && string(payload[:len(mergeMagic)]) == string(mergeMagic)
+}
+
+// mergeCheckpoint strips the magic, returning the absorbed checkpoint.
+func mergeCheckpoint(payload []byte) []byte { return payload[len(mergeMagic):] }
+
 // decodeBatchPayload is the replay-side inverse.
 func decodeBatchPayload(payload []byte) (*parsvd.Matrix, error) {
 	msg, err := tcptransport.DecodeMessageBody(payload)
