@@ -5,7 +5,7 @@ GO ?= go
 # benchstat wants repeated samples; `make bench BENCH_COUNT=10` feeds it.
 BENCH_COUNT ?= 1
 
-.PHONY: check build test vet fmt race smoke dist-smoke serve-smoke crash-smoke merge-smoke examples examples-gate bench bench-gate bench-stream bench-trajectory bench-baseline benchtune noasm-test worker fuzz-smoke
+.PHONY: check build test vet fmt race smoke dist-smoke serve-smoke crash-smoke merge-smoke coord-smoke examples examples-gate bench bench-gate bench-stream bench-trajectory bench-baseline benchtune noasm-test worker fuzz-smoke
 
 check: build test vet fmt
 
@@ -84,6 +84,18 @@ merge-smoke:
 	$(GO) test -run 'TestMergeConformance' -v -count 1 .
 	$(GO) test -count 1 ./internal/merge
 	$(GO) test -run 'TestMerge|TestCrashRecoveryMergeSIGKILL' -count 1 ./server
+
+# Cross-node coordinator gate: three REAL parsvd-serve processes on
+# kernel-picked ports, a 6-shard coordinated fit over the deterministic
+# workload driven by the parsvd-coord binary end to end (merged
+# checkpoint ≤ 1e-10 of a monolithic serial fit), and the same fit with
+# one serve process SIGKILLed mid-stream so the failover/refit path runs
+# against a genuinely dead node. The coordinator unit + fault suite and
+# the server checkpoint-export/provenance tests ride along.
+coord-smoke:
+	$(GO) test -run 'TestCoordSmoke' -v -count 1 ./coord
+	$(GO) test -count 1 ./coord
+	$(GO) test -run 'TestCheckpoint|TestShardProvenanceSurfaced|TestShardSpecSurvivesReboot' -count 1 ./server
 
 # Public-API consumer gate: every example must build against the public
 # packages only, quickstart must run end-to-end, and neither examples/

@@ -228,22 +228,58 @@ func MergeCheckpoints(paths ...string) (*SVD, error) {
 		}
 		states[i] = st
 	}
+	return mergeStates(states, paths)
+}
+
+// MergeReaders is MergeCheckpoints for checkpoints that are not files:
+// each reader yields one serialized checkpoint (Save / WriteCheckpoint
+// bytes), letting a coordinator reduce shard states fetched over the
+// wire without spilling them to temp files. Validation and reduction are
+// identical to MergeCheckpoints; errors label operands "checkpoint i"
+// (reader order) instead of by path.
+func MergeReaders(readers ...io.Reader) (*SVD, error) {
+	if len(readers) == 0 {
+		return nil, errors.New("parsvd: MergeReaders with no checkpoints")
+	}
+	states := make([]core.State, len(readers))
+	labels := make([]string, len(readers))
+	for i, r := range readers {
+		labels[i] = fmt.Sprintf("checkpoint %d", i)
+		if r == nil {
+			return nil, fmt.Errorf("parsvd: MergeReaders: %s is a nil reader", labels[i])
+		}
+		st, err := core.ReadState(r)
+		if err != nil {
+			return nil, fmt.Errorf("parsvd: %s: %w", labels[i], err)
+		}
+		states[i] = st
+	}
+	return mergeStates(states, labels)
+}
+
+// mergeStates validates the whole checkpoint set (compatibility and
+// pairwise-disjoint provenance — before any merge work runs), reduces it
+// up a balanced pairwise merge tree and wraps the root as a serial SVD.
+// labels name the operands in error messages (file paths for
+// MergeCheckpoints, reader indices for MergeReaders).
+func mergeStates(states []core.State, labels []string) (*SVD, error) {
 	ref := states[0]
 	for i, st := range states[1:] {
 		if st.Opts.K != ref.Opts.K {
 			return nil, fmt.Errorf("%w: %s has K = %d, %s has K = %d",
-				ErrMergeIncompatible, paths[i+1], st.Opts.K, paths[0], ref.Opts.K)
+				ErrMergeIncompatible, labels[i+1], st.Opts.K, labels[0], ref.Opts.K)
 		}
 		if st.Opts.ForgetFactor != ref.Opts.ForgetFactor {
 			return nil, fmt.Errorf("%w: %s has forget factor %g, %s has %g",
-				ErrMergeIncompatible, paths[i+1], st.Opts.ForgetFactor, paths[0], ref.Opts.ForgetFactor)
+				ErrMergeIncompatible, labels[i+1], st.Opts.ForgetFactor, labels[0], ref.Opts.ForgetFactor)
 		}
 		if st.Modes.Rows() != ref.Modes.Rows() {
 			return nil, fmt.Errorf("%w: %s has %d snapshot rows, %s has %d",
-				ErrMergeIncompatible, paths[i+1], st.Modes.Rows(), paths[0], ref.Modes.Rows())
+				ErrMergeIncompatible, labels[i+1], st.Modes.Rows(), labels[0], ref.Modes.Rows())
 		}
 	}
 	var absorbed []core.ShardID
+	var absorbedAt []int // state index of each absorbed mark, for error labels
 	for i, st := range states {
 		if st.Shard.IsZero() {
 			continue
@@ -251,15 +287,16 @@ func MergeCheckpoints(paths ...string) (*SVD, error) {
 		for j, prev := range absorbed {
 			if prev == st.Shard {
 				return nil, fmt.Errorf("%w: %s and %s both hold shard %d of %d",
-					ErrShardOverlap, paths[j], paths[i], st.Shard.Index, st.Shard.Count)
+					ErrShardOverlap, labels[absorbedAt[j]], labels[i], st.Shard.Index, st.Shard.Count)
 			}
 			if prev.Count != st.Shard.Count {
 				return nil, fmt.Errorf("%w: %s is shard %d of %d but %s is shard %d of %d (different partitionings)",
-					ErrMergeIncompatible, paths[i], st.Shard.Index, st.Shard.Count,
-					paths[j], prev.Index, prev.Count)
+					ErrMergeIncompatible, labels[i], st.Shard.Index, st.Shard.Count,
+					labels[absorbedAt[j]], prev.Index, prev.Count)
 			}
 		}
 		absorbed = append(absorbed, st.Shard)
+		absorbedAt = append(absorbedAt, i)
 	}
 
 	parts := make([]*merge.Partial, len(states))
@@ -306,7 +343,10 @@ func MergeCheckpoints(paths ...string) (*SVD, error) {
 // holder of a published Result snapshot (the serving layer's
 // copy-on-publish view) produce a mergeable checkpoint without touching
 // the live engine. The Result must carry modes (a Distributed Result
-// does not; Save gathers them instead).
+// does not; Save gathers them instead). A provenance mark in cfg.Shard
+// is stamped into the checkpoint exactly as Save stamps a WithShard
+// model's, so an exported view stays mergeable under the same
+// disjointness checks.
 func WriteCheckpoint(w io.Writer, cfg Configuration, res *Result) error {
 	if w == nil {
 		return errors.New("parsvd: WriteCheckpoint with nil writer")
@@ -316,6 +356,11 @@ func WriteCheckpoint(w io.Writer, cfg Configuration, res *Result) error {
 	}
 	if res.Modes == nil {
 		return errors.New("parsvd: WriteCheckpoint needs a Result carrying modes")
+	}
+	shard := core.ShardID{Index: cfg.Shard.Index, Count: cfg.Shard.Count}
+	if err := shard.Validate(); err != nil {
+		return fmt.Errorf("parsvd: WriteCheckpoint: shard %d of %d: index must be in [0, count)",
+			cfg.Shard.Index, cfg.Shard.Count)
 	}
 	opts := core.Options{
 		K:            cfg.Modes,
@@ -331,5 +376,20 @@ func WriteCheckpoint(w io.Writer, cfg Configuration, res *Result) error {
 	if err != nil {
 		return fmt.Errorf("parsvd: %w", err)
 	}
-	return eng.Save(w)
+	if shard.IsZero() {
+		return eng.Save(w)
+	}
+	// Stamp the provenance by re-encoding through the State form, like
+	// SVD.Save does for WithShard models (checkpoints are small relative
+	// to a fit; the copy is cheap).
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		return err
+	}
+	st, err := core.ReadState(&buf)
+	if err != nil {
+		return fmt.Errorf("parsvd: stamping shard provenance: %w", err)
+	}
+	st.Shard = shard
+	return core.WriteState(w, st)
 }

@@ -109,6 +109,29 @@ func (r *Result) Clone() *Result {
 // HTTP 5xx) from a bad request.
 var ErrEngineFailed = errors.New("parsvd: engine permanently failed")
 
+// ShardInfo is the public face of a shard provenance mark: this model
+// holds shard Index of Count disjoint snapshot subsets of one logical
+// stream (WithShard). The zero value means "whole stream / unmarked".
+type ShardInfo struct {
+	Index int
+	Count int
+}
+
+// IsZero reports an absent provenance mark.
+func (si ShardInfo) IsZero() bool { return si == ShardInfo{} }
+
+// String renders "index/count" ("" for the zero mark).
+func (si ShardInfo) String() string {
+	if si.IsZero() {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", si.Index, si.Count)
+}
+
+func shardInfo(id core.ShardID) ShardInfo {
+	return ShardInfo{Index: id.Index, Count: id.Count}
+}
+
 // Configuration echoes the options an SVD was built with — including one
 // rebuilt by Load, whose options come from the checkpoint. It exists so
 // callers wrapping SVDs (the serving layer) can report or persist the
@@ -126,6 +149,12 @@ type Configuration struct {
 	// Shards is the WithShards map-reduce width (0 or 1 for an
 	// unsharded fit).
 	Shards int
+	// Shard is the WithShard provenance mark (zero for a whole-stream
+	// model, and for a merged model — a merge retires the mark into the
+	// absorbed set). WriteCheckpoint stamps it into the checkpoints it
+	// produces, so a published view exported over HTTP carries the same
+	// provenance a Save would.
+	Shard ShardInfo
 }
 
 // Configuration reports the effective options of this SVD. A merge can
@@ -143,6 +172,7 @@ func (s *SVD) Configuration() Configuration {
 		LowRank:      s.cfg.lowRank,
 		RLA:          s.cfg.rlaOpts,
 		Shards:       s.cfg.shards,
+		Shard:        shardInfo(s.cfg.shard),
 	}
 }
 
@@ -167,6 +197,15 @@ type Stats struct {
 	// or distributed run; they stay zero for the serial backend.
 	Messages int64
 	Bytes    int64
+	// Shard is the WithShard provenance mark: this model is one
+	// shard-local fit of a partitioned stream. Zero for whole-stream
+	// models and for merged models (the mark retires into the absorbed
+	// set on the first merge).
+	Shard ShardInfo
+	// Absorbed counts the shard marks this model has absorbed through
+	// merges: > 0 identifies a merged (reduced) model and says how many
+	// marked shards it is the union of.
+	Absorbed int
 }
 
 // engine is the backend-side contract behind SVD. Serial and Parallel
@@ -392,6 +431,8 @@ func (s *SVD) Stats() Stats {
 		Rows:      s.rows,
 		Snapshots: s.snapshots,
 		Updates:   s.updates,
+		Shard:     shardInfo(s.cfg.shard),
+		Absorbed:  len(s.absorbed),
 	}
 	if s.eng != nil {
 		es := s.eng.stats()

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 
 	parsvd "goparsvd"
 )
@@ -48,6 +50,13 @@ type StatsJSON struct {
 	Updates   int64  `json:"updates"`
 	Messages  int64  `json:"messages"`
 	Bytes     int64  `json:"bytes"`
+	// Shard is the model's shard provenance mark ("2/6" for shard 2 of
+	// 6, "" for whole-stream models); Absorbed counts the shard
+	// checkpoints merged into it. Together they let a coordinator — or
+	// an operator reading listings — see which piece of a partitioned
+	// stream each model holds.
+	Shard    string `json:"shard,omitempty"`
+	Absorbed int    `json:"absorbed,omitempty"`
 }
 
 func statsJSON(st parsvd.Stats) StatsJSON {
@@ -60,6 +69,8 @@ func statsJSON(st parsvd.Stats) StatsJSON {
 		Updates:   st.Updates,
 		Messages:  st.Messages,
 		Bytes:     st.Bytes,
+		Shard:     st.Shard.String(),
+		Absorbed:  st.Absorbed,
 	}
 }
 
@@ -153,6 +164,11 @@ type ModelHealth struct {
 	// long the whole recovery took.
 	ReplayedOnBoot  uint64  `json:"replayed_on_boot,omitempty"`
 	RecoverySeconds float64 `json:"recovery_seconds,omitempty"`
+	// Shard is the model's shard provenance mark ("2/6", or "merged"
+	// once it has absorbed other shards, "" for a plain whole-stream
+	// model); Absorbed counts the merged-in shard checkpoints.
+	Shard    string `json:"shard,omitempty"`
+	Absorbed int    `json:"absorbed,omitempty"`
 }
 
 type errorResponse struct {
@@ -168,6 +184,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/models/{name}/push", s.handlePush)
 	s.mux.HandleFunc("POST /v1/models/{name}/merge", s.handleMerge)
+	s.mux.HandleFunc("GET /v1/models/{name}/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /v1/models/{name}/spectrum", s.handleSpectrum)
 	s.mux.HandleFunc("GET /v1/models/{name}/modes", s.handleModes)
 	s.mux.HandleFunc("GET /v1/models/{name}/stats", s.handleStats)
@@ -325,7 +342,23 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req MergeRequest
-	if !decodeJSON(w, r, &req) {
+	if ct, _, _ := strings.Cut(r.Header.Get("Content-Type"), ";"); strings.TrimSpace(ct) == "application/octet-stream" {
+		// Raw checkpoint upload: the body IS the checkpoint, no base64
+		// envelope. This is the path the coordinator (and client.Merge)
+		// uses, streaming fetched shard checkpoints straight through.
+		raw, err := io.ReadAll(r.Body)
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeJSON(w, http.StatusRequestEntityTooLarge,
+					errorResponse{Error: fmt.Sprintf("server: request body exceeds %d bytes", tooBig.Limit)})
+				return
+			}
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "server: reading checkpoint body: " + err.Error()})
+			return
+		}
+		req.Checkpoint = raw
+	} else if !decodeJSON(w, r, &req) {
 		return
 	}
 	var ckpt []byte
@@ -382,6 +415,40 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	case <-r.Context().Done():
 		writeError(w, r.Context().Err())
 	}
+}
+
+// handleCheckpoint serializes the model's current published View as
+// checkpoint bytes — the coordinator's collection primitive: a
+// shard-marked model exports a shard-stamped checkpoint that any
+// MergeReaders/POST /merge reduce accepts. The checkpoint is built from
+// the copy-on-publish View, never the live engine, so exports cost the
+// ingest loop nothing; it is buffered fully before the first byte is
+// written, so a mid-serialize fault is still a clean error status, not
+// a torn download. Distributed models (modes live out of process) are
+// refused with ErrNoModes — fetch from the model's own periodic
+// checkpoint file instead.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	v, ok := viewOf(w, m)
+	if !ok {
+		return
+	}
+	if _, ok := modesOf(w, v); !ok {
+		return
+	}
+	var buf bytes.Buffer
+	if err := parsvd.WriteCheckpoint(&buf, m.svd.Configuration(), v.Result); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
+	w.Header().Set("X-Parsvd-Version", fmt.Sprint(v.Version))
+	w.WriteHeader(http.StatusOK)
+	buf.WriteTo(w)
 }
 
 func (s *Server) handleSpectrum(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,273 @@
+package server_test
+
+// Checkpoint export (GET /v1/models/{name}/checkpoint) and shard
+// provenance surfacing: the endpoint serializes the published view as
+// checkpoint bytes a coordinator can reduce, listings//healthz//metrics
+// report which piece of a partitioned stream each model holds, and both
+// survive a crash-reboot cycle.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	parsvd "goparsvd"
+	"goparsvd/server"
+)
+
+// TestCheckpointEndpoint: the exported bytes are a loadable checkpoint
+// of the published view, bit-identical in spectrum to what the server
+// serves, and they round-trip through a merge.
+func TestCheckpointEndpoint(t *testing.T) {
+	const k = 6
+	a := mergeTestMatrix()
+	c := boot(t, server.Config{})
+	ctx := context.Background()
+
+	// Before any model: 404. Before any data: 409.
+	_, err := c.Checkpoint(ctx, "nope")
+	wantStatus(t, err, http.StatusNotFound)
+	if _, err := c.CreateModel(ctx, server.ModelSpec{Name: "m", Modes: k}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Checkpoint(ctx, "m")
+	wantStatus(t, err, http.StatusConflict)
+
+	if _, err := c.Push(ctx, "m", a.SliceCols(0, 8)); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := c.Checkpoint(ctx, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := parsvd.Load(bytes.NewReader(ckpt))
+	if err != nil {
+		t.Fatalf("exported checkpoint does not load: %v", err)
+	}
+	defer loaded.Close()
+	res, err := loaded.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := c.Spectrum(ctx, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBitIdentical(t, res.Singular, sp.Singular, "exported checkpoint")
+
+	// The export snapshots the published view: a later push changes the
+	// model but not already-fetched bytes.
+	if _, err := c.Push(ctx, "m", a.SliceCols(8, 16)); err != nil {
+		t.Fatal(err)
+	}
+	again, err := parsvd.Load(bytes.NewReader(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, _ := again.Result()
+	again.Close()
+	wantBitIdentical(t, res2.Singular, res.Singular, "fetched bytes after push")
+}
+
+// TestCheckpointCarriesShardProvenance: a shard-marked model exports a
+// shard-stamped checkpoint — reducible with full overlap validation,
+// i.e. absorbing the same exported shard twice is refused.
+func TestCheckpointCarriesShardProvenance(t *testing.T) {
+	const k = 6
+	a := mergeTestMatrix()
+	c := boot(t, server.Config{})
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		name := []string{"s0", "s1"}[i]
+		if _, err := c.CreateModel(ctx, server.ModelSpec{
+			Name: name, Modes: k, Shard: &server.ShardSpec{Index: i, Count: 2},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Push(ctx, name, a.SliceCols(i*8, i*8+8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck0, err := c.Checkpoint(ctx, "s0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck1, err := c.Checkpoint(ctx, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reduce the two exported shards locally: matches the monolithic fit.
+	merged, err := parsvd.MergeReaders(bytes.NewReader(ck0), bytes.NewReader(ck1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	res, err := merged.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClose(t, res.Singular, monolithicSpectrum(t, a, k, 4), 1e-10, "reduced exports")
+
+	// The stamp survives the wire: the same shard twice is an overlap.
+	if _, err := parsvd.MergeReaders(bytes.NewReader(ck0), bytes.NewReader(ck0)); err == nil {
+		t.Fatal("duplicate exported shard merged, want ErrShardOverlap")
+	}
+
+	// And a server-side merge of both exports reproduces the monolithic
+	// spectrum too (the coordinator's install path).
+	if _, err := c.CreateModel(ctx, server.ModelSpec{Name: "agg", Modes: k}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Merge(ctx, "agg", bytes.NewReader(ck0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Merge(ctx, "agg", bytes.NewReader(ck1)); err != nil {
+		t.Fatal(err)
+	}
+	spAgg, err := c.Spectrum(ctx, "agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClose(t, spAgg.Singular, monolithicSpectrum(t, a, k, 4), 1e-10, "server-side reduce")
+	_, err = c.Merge(ctx, "agg", bytes.NewReader(ck1))
+	wantStatus(t, err, http.StatusBadRequest)
+}
+
+// TestShardProvenanceSurfaced: listings, /healthz and /metrics all
+// report the shard mark of a shard-local model and the "merged" label
+// (with absorbed count) of a reduce target.
+func TestShardProvenanceSurfaced(t *testing.T) {
+	const k = 6
+	a := mergeTestMatrix()
+	c := boot(t, server.Config{})
+	ctx := context.Background()
+
+	if _, err := c.CreateModel(ctx, server.ModelSpec{
+		Name: "shard2", Modes: k, Shard: &server.ShardSpec{Index: 1, Count: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Push(ctx, "shard2", a.SliceCols(8, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateModel(ctx, server.ModelSpec{Name: "agg", Modes: k}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Merge(ctx, "agg", bytes.NewReader(shardCheckpoint(t, a, 0, 8, k, 0, 2))); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := c.Checkpoint(ctx, "shard2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Merge(ctx, "agg", bytes.NewReader(ck)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Listings: the shard model reports its mark, the reduce target its
+	// absorbed count.
+	info, err := c.Model(ctx, "shard2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Stats.Shard != "1/2" {
+		t.Errorf("shard model stats.shard = %q, want 1/2", info.Stats.Shard)
+	}
+	if info.Spec.Shard == nil || info.Spec.Shard.Index != 1 || info.Spec.Shard.Count != 2 {
+		t.Errorf("shard model spec.shard = %+v, want {1 2}", info.Spec.Shard)
+	}
+	agg, err := c.Model(ctx, "agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Stats.Shard != "" || agg.Stats.Absorbed != 2 {
+		t.Errorf("reduce target stats = shard %q absorbed %d, want \"\" 2", agg.Stats.Shard, agg.Stats.Absorbed)
+	}
+
+	// /healthz: "1/2" and "merged".
+	var h server.HealthResponse
+	getJSON(t, c.BaseURL+"/healthz", &h)
+	byName := map[string]server.ModelHealth{}
+	for _, mh := range h.Health {
+		byName[mh.Name] = mh
+	}
+	if got := byName["shard2"].Shard; got != "1/2" {
+		t.Errorf("healthz shard2 shard = %q, want 1/2", got)
+	}
+	if got := byName["agg"]; got.Shard != "merged" || got.Absorbed != 2 {
+		t.Errorf("healthz agg = shard %q absorbed %d, want merged 2", got.Shard, got.Absorbed)
+	}
+
+	// /metrics: the parsvd_model_shard_info gauge.
+	resp, err := http.Get(c.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	for _, want := range []string{
+		`parsvd_model_shard_info{model="shard2",shard="1/2",absorbed="0"} 1`,
+		`parsvd_model_shard_info{model="agg",shard="merged",absorbed="2"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestShardSpecSurvivesReboot: a shard-marked model keeps its mark
+// across a crash-reboot cycle, whether restored from spec + WAL or from
+// a checkpoint alone (specFromConfiguration), so a coordinator can
+// always re-identify which shard a recovered node holds.
+func TestShardSpecSurvivesReboot(t *testing.T) {
+	const k = 6
+	a := mergeTestMatrix()
+	dir := t.TempDir()
+	cfg := server.Config{CheckpointDir: dir, CheckpointInterval: time.Hour, Logf: func(string, ...any) {}}
+	ctx := context.Background()
+
+	s1 := bootCrashable(t, cfg)
+	if _, err := s1.c.CreateModel(ctx, server.ModelSpec{
+		Name: "s", Modes: k, Shard: &server.ShardSpec{Index: 1, Count: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.c.Push(ctx, "s", a.SliceCols(0, 8)); err != nil {
+		t.Fatal(err)
+	}
+	ckptBefore, err := s1.c.Checkpoint(ctx, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.crash()
+
+	s2 := bootCrashable(t, cfg)
+	info, err := s2.c.Model(ctx, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Spec.Shard == nil || info.Spec.Shard.Index != 1 || info.Spec.Shard.Count != 3 {
+		t.Fatalf("rebooted spec.shard = %+v, want {1 3}", info.Spec.Shard)
+	}
+	if info.Stats.Shard != "1/3" {
+		t.Errorf("rebooted stats.shard = %q, want 1/3", info.Stats.Shard)
+	}
+	ckptAfter, err := s2.c.Checkpoint(ctx, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ckptBefore, ckptAfter) {
+		t.Error("exported checkpoint changed across reboot")
+	}
+	s2.ts.Close()
+	if err := s2.srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -67,9 +67,58 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		payload = buf
 	}
+	var mkBody func() io.Reader
+	if in != nil {
+		mkBody = func() io.Reader { return bytes.NewReader(payload) }
+	}
+	return c.retryLoop(ctx, method, path, "application/json", mkBody, out)
+}
+
+// doStream runs a raw-body round trip (Content-Type contentType) under
+// the retry policy. The body is streamed as-is — no buffering copy. When
+// it implements io.Seeker (a bytes.Reader, an *os.File) retries rewind
+// and resend it; a one-shot stream gets a single attempt.
+func (c *Client) doStream(ctx context.Context, method, path, contentType string, body io.Reader, out any) error {
+	seeker, _ := body.(io.Seeker)
+	var start int64
+	if seeker != nil {
+		pos, err := seeker.Seek(0, io.SeekCurrent)
+		if err != nil {
+			seeker = nil
+		} else {
+			start = pos
+		}
+	}
+	first := true
+	mkBody := func() io.Reader {
+		if first {
+			first = false
+			return body
+		}
+		if seeker == nil {
+			return nil // signals retryLoop the body cannot be resent
+		}
+		if _, err := seeker.Seek(start, io.SeekStart); err != nil {
+			return nil
+		}
+		return body
+	}
+	return c.retryLoop(ctx, method, path, contentType, mkBody, out)
+}
+
+// retryLoop drives attempts under the retry policy. mkBody is called per
+// attempt for a fresh request body (nil mkBody: bodiless request; a nil
+// return on a retry ends the loop — the body cannot be replayed).
+func (c *Client) retryLoop(ctx context.Context, method, path, contentType string, mkBody func() io.Reader, out any) error {
 	attempts := c.Retry.attempts()
 	for attempt := 0; ; attempt++ {
-		err := c.once(ctx, method, path, in != nil, payload, out)
+		var body io.Reader
+		if mkBody != nil {
+			if body = mkBody(); body == nil && attempt > 0 {
+				return fmt.Errorf("client: request body cannot be replayed for a retry (use a seekable reader)")
+			}
+		}
+		err := c.once(ctx, method, path, contentType, body, out)
 		if err == nil {
 			return nil
 		}
@@ -84,19 +133,15 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 }
 
-// once is a single HTTP attempt. The payload is a fresh reader each call,
-// so retries resend the full body.
-func (c *Client) once(ctx context.Context, method, path string, hasBody bool, payload []byte, out any) error {
-	var body io.Reader
-	if hasBody {
-		body = bytes.NewReader(payload)
-	}
+// once is a single HTTP attempt. out == nil discards the response body;
+// *[]byte receives it raw; anything else is JSON-decoded into.
+func (c *Client) once(ctx context.Context, method, path, contentType string, body io.Reader, out any) error {
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
-	if hasBody {
-		req.Header.Set("Content-Type", "application/json")
+	if body != nil {
+		req.Header.Set("Content-Type", contentType)
 	}
 	hc := c.HTTPClient
 	if hc == nil {
@@ -117,12 +162,19 @@ func (c *Client) once(ctx context.Context, method, path string, hasBody bool, pa
 		}
 		return &APIError{StatusCode: resp.StatusCode, Message: msg, RetryAfter: parseRetryAfter(resp)}
 	}
-	if out == nil {
+	switch dst := out.(type) {
+	case nil:
 		io.Copy(io.Discard, resp.Body)
-		return nil
-	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decoding response: %w", err)
+	case *[]byte:
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return fmt.Errorf("client: reading response: %w", err)
+		}
+		*dst = raw
+	default:
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("client: decoding response: %w", err)
+		}
 	}
 	return nil
 }
@@ -169,16 +221,41 @@ func (c *Client) Push(ctx context.Context, name string, batch *parsvd.Matrix) (s
 	return ack, err
 }
 
-// Merge absorbs another shard-local fit into the named model. The
-// request either names a source model on the same server (Model) or
-// carries raw checkpoint bytes produced by parsvd.Save /
-// parsvd.WriteCheckpoint (Checkpoint) — exactly one of the two. The
-// merge rides the model's ingest loop, so a 2xx ack means it is applied
-// (and durable, when the server runs a WAL).
-func (c *Client) Merge(ctx context.Context, name string, req server.MergeRequest) (server.MergeAck, error) {
+// Merge absorbs a shard-local fit into the named model: checkpoint
+// streams raw bytes produced by parsvd.Save / parsvd.WriteCheckpoint /
+// Client.Checkpoint to the server as application/octet-stream — no
+// base64 envelope, no forced in-memory copy. Pass a seekable reader (a
+// bytes.Reader, an *os.File) to let the retry policy rewind and resend
+// on 429/503; a one-shot stream gets a single attempt. The merge rides
+// the model's ingest loop, so a 2xx ack means it is applied (and
+// durable, when the server runs a WAL). To merge a sibling model that
+// lives on the same server, use MergeModel.
+func (c *Client) Merge(ctx context.Context, name string, checkpoint io.Reader) (server.MergeAck, error) {
 	var ack server.MergeAck
-	err := c.do(ctx, http.MethodPost, "/v1/models/"+name+"/merge", req, &ack)
+	err := c.doStream(ctx, http.MethodPost, "/v1/models/"+name+"/merge", "application/octet-stream", checkpoint, &ack)
 	return ack, err
+}
+
+// MergeModel absorbs source — another model on the same server — into
+// the target model. The server snapshots source's published view into
+// checkpoint form and merges it, without disturbing source's live
+// engine.
+func (c *Client) MergeModel(ctx context.Context, target, source string) (server.MergeAck, error) {
+	var ack server.MergeAck
+	err := c.do(ctx, http.MethodPost, "/v1/models/"+target+"/merge", server.MergeRequest{Model: source}, &ack)
+	return ack, err
+}
+
+// Checkpoint fetches the model's current published view serialized as
+// checkpoint bytes — loadable with parsvd.Load, mergeable with
+// SVD.Merge / parsvd.MergeReaders / Client.Merge. For shard-marked
+// models the checkpoint carries the shard provenance stamp, so a
+// coordinator can fetch each node's shard fit and reduce them with full
+// overlap validation.
+func (c *Client) Checkpoint(ctx context.Context, name string) ([]byte, error) {
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, "/v1/models/"+name+"/checkpoint", nil, &raw)
+	return raw, err
 }
 
 // Spectrum fetches the singular values of the model's current view.

@@ -1,6 +1,7 @@
 package client_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
@@ -64,6 +65,67 @@ func Example() {
 	fmt.Printf("snapshots=%d singular_values=%d modes=%dx%d\n",
 		ack.Snapshots, len(spectrum.Singular), modes.Rows(), modes.Cols())
 	// Output: snapshots=12 singular_values=3 modes=8x3
+}
+
+// ExampleClient_Checkpoint is the fetch→merge round trip — the
+// coordinator's collection primitive. Two shard-marked models each fit
+// a disjoint half of a snapshot stream; their published views are
+// fetched as shard-stamped checkpoint bytes and streamed into a reduce
+// model, which ends up covering the full stream. Against a real
+// deployment the three models would live on different serve nodes and
+// the same four calls would cross machines.
+func ExampleClient_Checkpoint() {
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	ctx := context.Background()
+	c := client.New(ts.URL)
+	c.Retry = client.RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond}
+
+	const rows, cols = 8, 12
+	snaps := parsvd.NewMatrix(rows, cols)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			snaps.Set(i, j, float64((i+2)*(j+3)%11)+0.25*float64(i))
+		}
+	}
+
+	// Each shard model fits its half of the columns, marked i-of-2.
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("flow.s%dof2", i)
+		if _, err := c.CreateModel(ctx, server.ModelSpec{
+			Name: name, Modes: 3, Shard: &server.ShardSpec{Index: i, Count: 2},
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := c.Push(ctx, name, snaps.SliceCols(i*6, i*6+6)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Collect and reduce: fetch each shard checkpoint, merge it into the
+	// full model. A bytes.Reader is seekable, so the retry policy can
+	// rewind and resend an upload after a 429.
+	if _, err := c.CreateModel(ctx, server.ModelSpec{Name: "flow", Modes: 3}); err != nil {
+		log.Fatal(err)
+	}
+	var ack server.MergeAck
+	for i := 0; i < 2; i++ {
+		ckpt, err := c.Checkpoint(ctx, fmt.Sprintf("flow.s%dof2", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ack, err = c.Merge(ctx, "flow", bytes.NewReader(ckpt)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("reduced 2 shards into flow: %d snapshots\n", ack.Snapshots)
+	// Output: reduced 2 shards into flow: 12 snapshots
 }
 
 // ExampleClient_retries shows a client that rides out backpressure: with a

@@ -406,7 +406,7 @@ func TestCrashRecoveryMergeSIGKILL(t *testing.T) {
 
 			mergeDone := make(chan error, 1)
 			go func() {
-				_, err := c1.Merge(ctx, "crash", server.MergeRequest{Checkpoint: ckpt})
+				_, err := c1.Merge(ctx, "crash", bytes.NewReader(ckpt))
 				mergeDone <- err
 			}()
 			if phase.waitAck {

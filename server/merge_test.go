@@ -11,13 +11,16 @@ package server_test
 import (
 	"bytes"
 	"context"
+	"io"
 	"math"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
 	parsvd "goparsvd"
 	"goparsvd/server"
+	"goparsvd/server/client"
 
 	"goparsvd/internal/testutil"
 )
@@ -96,7 +99,7 @@ func TestMergeUpload(t *testing.T) {
 	}
 	ckpt := shardCheckpoint(t, a, 8, 16, k, 1, 2)
 
-	ack, err := c.Merge(ctx, "target", server.MergeRequest{Checkpoint: ckpt})
+	ack, err := c.Merge(ctx, "target", bytes.NewReader(ckpt))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +160,7 @@ func TestMergeModelToModel(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ack, err := c.Merge(ctx, "left", server.MergeRequest{Model: "right"})
+	ack, err := c.MergeModel(ctx, "left", "right")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,24 +193,41 @@ func TestMergeRequestValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Neither source, both sources, self-merge: 400.
-	_, err := c.Merge(ctx, "m", server.MergeRequest{})
-	wantStatus(t, err, http.StatusBadRequest)
-	_, err = c.Merge(ctx, "m", server.MergeRequest{Model: "m2", Checkpoint: []byte{1}})
-	wantStatus(t, err, http.StatusBadRequest)
-	_, err = c.Merge(ctx, "m", server.MergeRequest{Model: "m"})
+	// Neither source and both sources set — posted as raw JSON, since the
+	// typed client can no longer express these malformed shapes: 400.
+	if got := postMergeJSON(t, c, "m", `{}`); got != http.StatusBadRequest {
+		t.Fatalf("merge with no source: HTTP %d, want 400", got)
+	}
+	if got := postMergeJSON(t, c, "m", `{"model":"m2","checkpoint":"AQ=="}`); got != http.StatusBadRequest {
+		t.Fatalf("merge with both sources: HTTP %d, want 400", got)
+	}
+	// Self-merge: 400.
+	_, err := c.MergeModel(ctx, "m", "m")
 	wantStatus(t, err, http.StatusBadRequest)
 	// Unknown target model and unknown source model: 404.
-	_, err = c.Merge(ctx, "nope", server.MergeRequest{Model: "m"})
+	_, err = c.MergeModel(ctx, "nope", "m")
 	wantStatus(t, err, http.StatusNotFound)
-	_, err = c.Merge(ctx, "m", server.MergeRequest{Model: "nope"})
+	_, err = c.MergeModel(ctx, "m", "nope")
 	wantStatus(t, err, http.StatusNotFound)
 	// A source model with no data yet has no view to snapshot: 409.
 	if _, err := c.CreateModel(ctx, server.ModelSpec{Name: "hollow", Modes: 3}); err != nil {
 		t.Fatal(err)
 	}
-	_, err = c.Merge(ctx, "m", server.MergeRequest{Model: "hollow"})
+	_, err = c.MergeModel(ctx, "m", "hollow")
 	wantStatus(t, err, http.StatusConflict)
+}
+
+// postMergeJSON posts a hand-built JSON merge body (the legacy
+// MergeRequest envelope) and returns the HTTP status.
+func postMergeJSON(t *testing.T, c *client.Client, name, body string) int {
+	t.Helper()
+	resp, err := http.Post(c.BaseURL+"/v1/models/"+name+"/merge", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
 }
 
 // TestMergeCorruptUploadDoesNotPoison is the fuzz/fault satellite of the
@@ -240,7 +260,7 @@ func TestMergeCorruptUploadDoesNotPoison(t *testing.T) {
 		{"truncated", good[:40]},
 		{"wrong-k", shardCheckpoint(t, a, 8, 16, k+2, 1, 2)},
 	} {
-		_, err := c.Merge(ctx, "m", server.MergeRequest{Checkpoint: tc.ckpt})
+		_, err := c.Merge(ctx, "m", bytes.NewReader(tc.ckpt))
 		wantStatus(t, err, http.StatusBadRequest)
 		after, err := c.Spectrum(ctx, "m")
 		if err != nil {
@@ -258,7 +278,7 @@ func TestMergeCorruptUploadDoesNotPoison(t *testing.T) {
 
 	// The model is not soured: the good checkpoint still merges and a
 	// push still lands.
-	if _, err := c.Merge(ctx, "m", server.MergeRequest{Checkpoint: good}); err != nil {
+	if _, err := c.Merge(ctx, "m", bytes.NewReader(good)); err != nil {
 		t.Fatal(err)
 	}
 	ack, err := c.Push(ctx, "m", testMatrix(32, 4))
@@ -283,7 +303,7 @@ func TestMergeIntoEmptyModel(t *testing.T) {
 	}
 
 	ckpt := shardCheckpoint(t, a, 0, 16, k, 0, 1)
-	ack, err := c.Merge(ctx, "blank", server.MergeRequest{Checkpoint: ckpt})
+	ack, err := c.Merge(ctx, "blank", bytes.NewReader(ckpt))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,9 +341,7 @@ func TestMergeWALReplay(t *testing.T) {
 	if _, err := s1.c.Push(ctx, "m", a.SliceCols(4, 8)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s1.c.Merge(ctx, "m", server.MergeRequest{
-		Checkpoint: shardCheckpoint(t, a, 8, 16, k, 1, 2),
-	}); err != nil {
+	if _, err := s1.c.Merge(ctx, "m", bytes.NewReader(shardCheckpoint(t, a, 8, 16, k, 1, 2))); err != nil {
 		t.Fatal(err)
 	}
 	// One more batch after the merge, so replay must cross the merge
@@ -378,15 +396,13 @@ func TestMergeShardOverlapRefused(t *testing.T) {
 		t.Fatal(err)
 	}
 	ckpt := shardCheckpoint(t, a, 0, 8, k, 0, 2)
-	if _, err := c.Merge(ctx, "m", server.MergeRequest{Checkpoint: ckpt}); err != nil {
+	if _, err := c.Merge(ctx, "m", bytes.NewReader(ckpt)); err != nil {
 		t.Fatal(err)
 	}
-	_, err := c.Merge(ctx, "m", server.MergeRequest{Checkpoint: ckpt})
+	_, err := c.Merge(ctx, "m", bytes.NewReader(ckpt))
 	wantStatus(t, err, http.StatusBadRequest)
 	// The sibling shard is still welcome.
-	if _, err := c.Merge(ctx, "m", server.MergeRequest{
-		Checkpoint: shardCheckpoint(t, a, 8, 16, k, 1, 2),
-	}); err != nil {
+	if _, err := c.Merge(ctx, "m", bytes.NewReader(shardCheckpoint(t, a, 8, 16, k, 1, 2))); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -42,12 +42,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE parsvd_model_recovery_seconds gauge\n")
 	fmt.Fprintf(w, "# HELP parsvd_model_dirty_age_seconds Age of the oldest update not yet covered by a checkpoint (0 when clean).\n")
 	fmt.Fprintf(w, "# TYPE parsvd_model_dirty_age_seconds gauge\n")
+	fmt.Fprintf(w, "# HELP parsvd_model_shard_info Shard provenance: shard is \"i/n\", \"merged\" or \"whole\"; absorbed counts merged-in shard checkpoints. Value is always 1.\n")
+	fmt.Fprintf(w, "# TYPE parsvd_model_shard_info gauge\n")
 	for _, m := range s.reg.list() {
 		st := m.statsSnapshot()
 		fmt.Fprintf(w, "parsvd_model_snapshots{model=%q} %d\n", m.name, st.Snapshots)
 		fmt.Fprintf(w, "parsvd_model_updates{model=%q} %d\n", m.name, st.Updates)
 		fmt.Fprintf(w, "parsvd_model_queue_depth{model=%q} %d\n", m.name, m.pending.Load())
 		fmt.Fprintf(w, "parsvd_model_comm_bytes{model=%q} %d\n", m.name, st.Bytes)
+		shard, absorbed := shardLabel(st)
+		if shard == "" {
+			shard = "whole"
+		}
+		fmt.Fprintf(w, "parsvd_model_shard_info{model=%q,shard=%q,absorbed=\"%d\"} 1\n", m.name, shard, absorbed)
 		h := m.health()
 		fmt.Fprintf(w, "parsvd_model_recovery_seconds{model=%q} %g\n", m.name, h.RecoverySeconds)
 		fmt.Fprintf(w, "parsvd_model_dirty_age_seconds{model=%q} %g\n", m.name, h.DirtyAgeSeconds)

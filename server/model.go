@@ -470,6 +470,7 @@ func (m *model) health() ModelHealth {
 		ReplayedOnBoot:  m.replayedOnBoot,
 		RecoverySeconds: m.recoverySeconds,
 	}
+	h.Shard, h.Absorbed = shardLabel(m.statsSnapshot())
 	if since := m.dirtySince.Load(); since != 0 {
 		h.Dirty = true
 		h.DirtyAgeSeconds = time.Since(time.Unix(0, since)).Seconds()
@@ -479,6 +480,21 @@ func (m *model) health() ModelHealth {
 		h.WALRecords, h.WALBytes = wlog.Depth()
 	}
 	return h
+}
+
+// shardLabel condenses a model's provenance for /healthz and /metrics:
+// "i/n" for a shard-local fit, "merged" once other shards have been
+// absorbed, "" for a plain whole-stream model. Absorbed is the size of
+// the absorbed set either way.
+func shardLabel(st parsvd.Stats) (string, int) {
+	switch {
+	case !st.Shard.IsZero():
+		return st.Shard.String(), st.Absorbed
+	case st.Absorbed > 0:
+		return "merged", st.Absorbed
+	default:
+		return "", 0
+	}
 }
 
 // info assembles the API representation of the model.

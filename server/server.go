@@ -410,6 +410,9 @@ func specFromConfiguration(name string, c parsvd.Configuration) ModelSpec {
 			Seed:       c.RLA.Seed,
 		}
 	}
+	if !c.Shard.IsZero() {
+		spec.Shard = &ShardSpec{Index: c.Shard.Index, Count: c.Shard.Count}
+	}
 	return spec
 }
 

@@ -35,6 +35,19 @@ type ModelSpec struct {
 	// LowRank, when present, turns on the randomized pipeline
 	// (parsvd.WithLowRank).
 	LowRank *LowRankSpec `json:"low_rank,omitempty"`
+	// Shard, when present, marks the model as one shard-local fit of a
+	// partitioned stream (parsvd.WithShard): shard Index of Count
+	// disjoint snapshot subsets. The mark is stamped into every
+	// checkpoint the model writes or exports, and merge validation uses
+	// it to refuse absorbing the same shard twice. The cross-node
+	// coordinator (goparsvd/coord) creates its per-shard models with it.
+	Shard *ShardSpec `json:"shard,omitempty"`
+}
+
+// ShardSpec is the JSON shape of a shard provenance mark.
+type ShardSpec struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
 }
 
 // LowRankSpec tunes the randomized SVD sketch (parsvd.RLA).
@@ -87,6 +100,9 @@ func (sp *ModelSpec) options() ([]parsvd.Option, error) {
 			PowerIters: sp.LowRank.PowerIters,
 			Seed:       sp.LowRank.Seed,
 		}))
+	}
+	if sp.Shard != nil {
+		opts = append(opts, parsvd.WithShard(sp.Shard.Index, sp.Shard.Count))
 	}
 	return opts, nil
 }
