@@ -5,7 +5,7 @@ GO ?= go
 # benchstat wants repeated samples; `make bench BENCH_COUNT=10` feeds it.
 BENCH_COUNT ?= 1
 
-.PHONY: check build test vet fmt race smoke dist-smoke serve-smoke crash-smoke merge-smoke coord-smoke examples examples-gate bench bench-gate bench-stream bench-trajectory bench-baseline benchtune noasm-test worker fuzz-smoke
+.PHONY: check build test vet fmt race smoke dist-smoke serve-smoke crash-smoke merge-smoke coord-smoke sketch-smoke examples examples-gate bench bench-gate bench-stream bench-trajectory bench-baseline benchtune noasm-test worker fuzz-smoke
 
 check: build test vet fmt
 
@@ -97,6 +97,19 @@ coord-smoke:
 	$(GO) test -count 1 ./coord
 	$(GO) test -run 'TestCheckpoint|TestShardProvenanceSurfaced|TestShardSpecSurvivesReboot' -count 1 ./server
 
+# Sketched-push gate: the sketch property suite (sketched vs unsketched
+# fits across every Source kind and all three backends, exactness when
+# MaxRank covers the data rank, never-panic option handling) including
+# TestSketchSmoke — a 4-rank TCP worker fleet fed compressed (Q, S)
+# factor pairs must match the serial unsketched reference within 1e-4
+# with >= 4x wire reduction — plus the server-side sketched ingest, WAL
+# replay and computed-Retry-After tests. bench-gate rides along so the
+# sketch path cannot regress the zero-allocs/op streaming hot path.
+sketch-smoke:
+	CI=1 $(GO) test -count 1 -v -run 'TestSketch' .
+	$(GO) test -count 1 -run 'TestPushSketchEndToEnd|TestSketchWALReplay|TestRetryAfterDerivedFromQueueOccupancy|TestRetryAfterValueReachesBackoff' ./server/...
+	$(MAKE) bench-gate
+
 # Public-API consumer gate: every example must build against the public
 # packages only, quickstart must run end-to-end, and neither examples/
 # nor README code blocks may import goparsvd/internal.
@@ -153,9 +166,10 @@ bench-gate:
 		}'
 
 # The benchmark set the trajectory record tracks: kernel-level GEMM, the
-# batched path, the streaming hot loop and the pairwise merge. Kept in one
-# place so emitting a baseline and emitting a CI run measure the same thing.
-TRAJ_BENCH = BenchmarkMulIntoSquare256$$|BenchmarkMulSquare512$$|BenchmarkMulTallSkinny$$|BenchmarkBatchedSkinny$$|BenchmarkIncorporateSteadyStateAllocs$$|BenchmarkMergePairSteadyState$$|BenchmarkMergeTree8$$
+# batched path, the streaming hot loop, the pairwise merge and the
+# sketched-push wire traffic. Kept in one place so emitting a baseline
+# and emitting a CI run measure the same thing.
+TRAJ_BENCH = BenchmarkMulIntoSquare256$$|BenchmarkMulSquare512$$|BenchmarkMulTallSkinny$$|BenchmarkBatchedSkinny$$|BenchmarkIncorporateSteadyStateAllocs$$|BenchmarkMergePairSteadyState$$|BenchmarkMergeTree8$$|BenchmarkSketchedPushWire$$
 TRAJ_COUNT ?= 5
 RUNID ?= local
 
@@ -164,7 +178,7 @@ RUNID ?= local
 # (same environment) or any alloc increase (any environment) fails.
 bench-trajectory:
 	$(GO) test -run '^$$' -bench '$(TRAJ_BENCH)' -benchmem -count $(TRAJ_COUNT) \
-		./internal/mat ./internal/stream ./internal/merge \
+		. ./internal/mat ./internal/stream ./internal/merge \
 		| $(GO) run ./cmd/parsvd-benchtraj emit -runid "$(RUNID)" -o BENCH_$(RUNID).json
 	$(GO) run ./cmd/parsvd-benchtraj compare -baseline BENCH_baseline.json -current BENCH_$(RUNID).json
 
@@ -172,7 +186,7 @@ bench-trajectory:
 # performance changes, then commit BENCH_baseline.json).
 bench-baseline:
 	$(GO) test -run '^$$' -bench '$(TRAJ_BENCH)' -benchmem -count $(TRAJ_COUNT) \
-		./internal/mat ./internal/stream ./internal/merge \
+		. ./internal/mat ./internal/stream ./internal/merge \
 		| $(GO) run ./cmd/parsvd-benchtraj emit -runid baseline -o BENCH_baseline.json
 
 # Re-measure the kernel selection thresholds on this machine and rewrite

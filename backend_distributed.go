@@ -123,6 +123,31 @@ func (d *distEngine) push(b *mat.Dense) error {
 	return nil
 }
 
+// pushSketch ships a compressed factor pair to the fleet instead of
+// reconstructed rows (the sketchReceiver seam behind PushSketch and
+// WithSketchedPush): each rank receives its row block of Q plus the full
+// S and reconstructs worker-side, so only the pair crosses the wire.
+func (d *distEngine) pushSketch(q, s *mat.Dense) error {
+	if d.failed != nil {
+		return d.failed
+	}
+	if d.sess == nil {
+		if q.Rows() < d.cfg.ranks {
+			return fmt.Errorf("parsvd: %d snapshot rows cannot be split across %d ranks", q.Rows(), d.cfg.ranks)
+		}
+		if err := d.start(); err != nil {
+			return err
+		}
+	}
+	if err := d.sess.PushSketch(q, s); err != nil {
+		return d.sessionErr("distributed sketched update", err)
+	}
+	if d.rows == 0 {
+		d.rows = q.Rows()
+	}
+	return nil
+}
+
 func (d *distEngine) result() (*Result, error) {
 	if d.failed != nil {
 		return nil, d.failed

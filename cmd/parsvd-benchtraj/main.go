@@ -52,6 +52,10 @@ type Bench struct {
 	NsOp     []float64 `json:"ns_op"`
 	BytesOp  []float64 `json:"bytes_op"`
 	AllocsOp []float64 `json:"allocs_op"`
+	// WireBPush is the custom wire-B/push metric the sketched-push
+	// benchmarks report: bytes per push that cross the ingest wire.
+	// -1 when the benchmark does not report it.
+	WireBPush []float64 `json:"wire_b_push,omitempty"`
 }
 
 func main() {
@@ -168,7 +172,7 @@ func parseBenchOutput(r io.Reader) (*Run, error) {
 			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
 			continue
 		}
-		name, ns, bytesOp, allocs, ok := parseBenchLine(line)
+		name, ns, bytesOp, allocs, wire, ok := parseBenchLine(line)
 		if !ok {
 			continue
 		}
@@ -181,6 +185,7 @@ func parseBenchOutput(r io.Reader) (*Run, error) {
 		b.NsOp = append(b.NsOp, ns)
 		b.BytesOp = append(b.BytesOp, bytesOp)
 		b.AllocsOp = append(b.AllocsOp, allocs)
+		b.WireBPush = append(b.WireBPush, wire)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -197,11 +202,13 @@ func parseBenchOutput(r io.Reader) (*Run, error) {
 //
 // The -P GOMAXPROCS suffix is stripped so records from hosts with different
 // core counts compare. Lines without -benchmem report no B/op / allocs/op;
-// those record -1 ("unknown"), which the alloc gate treats as absent.
-func parseBenchLine(line string) (name string, ns, bytesOp, allocs float64, ok bool) {
+// those record -1 ("unknown"), which the alloc gate treats as absent. The
+// same sentinel covers wire-B/push, the custom b.ReportMetric unit of the
+// sketched-push traffic benchmarks.
+func parseBenchLine(line string) (name string, ns, bytesOp, allocs, wire float64, ok bool) {
 	f := strings.Fields(line)
 	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
-		return "", 0, 0, 0, false
+		return "", 0, 0, 0, 0, false
 	}
 	name = f[0]
 	if i := strings.LastIndex(name, "-"); i > 0 {
@@ -209,7 +216,7 @@ func parseBenchLine(line string) (name string, ns, bytesOp, allocs float64, ok b
 			name = name[:i]
 		}
 	}
-	ns, bytesOp, allocs = -1, -1, -1
+	ns, bytesOp, allocs, wire = -1, -1, -1, -1
 	for i := 2; i < len(f); i++ {
 		v, err := strconv.ParseFloat(f[i-1], 64)
 		if err != nil {
@@ -222,12 +229,23 @@ func parseBenchLine(line string) (name string, ns, bytesOp, allocs float64, ok b
 			bytesOp = v
 		case "allocs/op":
 			allocs = v
+		case "wire-B/push":
+			wire = v
 		}
 	}
 	if ns < 0 {
-		return "", 0, 0, 0, false
+		return "", 0, 0, 0, 0, false
 	}
-	return name, ns, bytesOp, allocs, true
+	return name, ns, bytesOp, allocs, wire, true
+}
+
+// wireCell renders the wire-B/push column: most benchmarks don't report
+// the metric, so the -1 sentinel shows as "-".
+func wireCell(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', 0, 64)
 }
 
 func median(xs []float64) float64 {
@@ -259,7 +277,7 @@ func compareRuns(base, cur *Run, maxRegress float64, strict bool) (string, []str
 	if !gateNs {
 		fmt.Fprintf(&b, "environments differ: ns/op reported but not gated (use -strict to gate anyway)\n")
 	}
-	fmt.Fprintf(&b, "\n%-52s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+	fmt.Fprintf(&b, "\n%-52s %14s %14s %8s %10s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op", "wire-B/push")
 
 	baseBy := map[string]*Bench{}
 	for i := range base.Benches {
@@ -269,13 +287,14 @@ func compareRuns(base, cur *Run, maxRegress float64, strict bool) (string, []str
 		cb := &cur.Benches[i]
 		bb := baseBy[cb.Name]
 		if bb == nil {
-			fmt.Fprintf(&b, "%-52s %14s %14.0f %8s %10.0f  (new)\n",
-				cb.Name, "-", median(cb.NsOp), "-", median(cb.AllocsOp))
+			fmt.Fprintf(&b, "%-52s %14s %14.0f %8s %10.0f %12s  (new)\n",
+				cb.Name, "-", median(cb.NsOp), "-", median(cb.AllocsOp), wireCell(median(cb.WireBPush)))
 			continue
 		}
 		oldNs, newNs := median(bb.NsOp), median(cb.NsOp)
 		delta := 100 * (newNs - oldNs) / oldNs
 		oldAllocs, newAllocs := median(bb.AllocsOp), median(cb.AllocsOp)
+		oldWire, newWire := median(bb.WireBPush), median(cb.WireBPush)
 		mark := ""
 		if gateNs && delta > maxRegress {
 			mark = "  REGRESSION"
@@ -288,8 +307,16 @@ func compareRuns(base, cur *Run, maxRegress float64, strict bool) (string, []str
 			failures = append(failures,
 				fmt.Sprintf("%s: allocs/op %.0f -> %.0f", cb.Name, oldAllocs, newAllocs))
 		}
-		fmt.Fprintf(&b, "%-52s %14.0f %14.0f %+7.1f%% %10.0f%s\n",
-			cb.Name, oldNs, newNs, delta, newAllocs, mark)
+		// Wire traffic per push is deterministic (a geometry, not a
+		// timing), so any increase is a real compression regression and
+		// gates on every machine — the same contract as allocs/op.
+		if oldWire >= 0 && newWire > oldWire {
+			mark += "  WIRE-INCREASE"
+			failures = append(failures,
+				fmt.Sprintf("%s: wire-B/push %.0f -> %.0f", cb.Name, oldWire, newWire))
+		}
+		fmt.Fprintf(&b, "%-52s %14.0f %14.0f %+7.1f%% %10.0f %12s%s\n",
+			cb.Name, oldNs, newNs, delta, newAllocs, wireCell(newWire), mark)
 	}
 	for _, bb := range base.Benches {
 		found := false

@@ -14,6 +14,7 @@ BenchmarkMulIntoSquare256 	    2900	    850000 ns/op	       0 B/op	       0 allo
 BenchmarkMulIntoSquare256 	    2950	    839000 ns/op	       0 B/op	       0 allocs/op
 BenchmarkBatchedSkinny-8  	    2794	    459686 ns/op	       0 B/op	       0 allocs/op
 BenchmarkNoMemStats       	     100	     12345 ns/op
+BenchmarkSketchedPushWire-8	      50	   1234567 ns/op	     34816 wire-B/push	    2048 B/op	      12 allocs/op
 PASS
 ok  	goparsvd/internal/mat	9.2s
 `
@@ -35,8 +36,8 @@ func TestParseBenchOutput(t *testing.T) {
 	if !strings.Contains(run.CPU, "Xeon") {
 		t.Errorf("cpu line lost: %q", run.CPU)
 	}
-	if len(run.Benches) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(run.Benches))
+	if len(run.Benches) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(run.Benches))
 	}
 	sq := run.Benches[0]
 	if sq.Name != "BenchmarkMulIntoSquare256" || len(sq.NsOp) != 3 {
@@ -52,6 +53,14 @@ func TestParseBenchOutput(t *testing.T) {
 	// Without -benchmem the alloc stats are unknown, not zero.
 	if a := run.Benches[2].AllocsOp[0]; a != -1 {
 		t.Errorf("missing allocs/op recorded as %g, want -1 sentinel", a)
+	}
+	// The custom wire-B/push metric is captured; benchmarks that don't
+	// report it carry the -1 sentinel.
+	if w := run.Benches[3].WireBPush[0]; w != 34816 {
+		t.Errorf("wire-B/push recorded as %g, want 34816", w)
+	}
+	if w := run.Benches[0].WireBPush[0]; w != -1 {
+		t.Errorf("missing wire-B/push recorded as %g, want -1 sentinel", w)
 	}
 }
 
@@ -121,6 +130,34 @@ func TestAllocIncreaseAlwaysFails(t *testing.T) {
 	}
 }
 
+// TestWireIncreaseAlwaysFails: wire bytes per push are deterministic
+// geometry, so any increase gates even across differing environments.
+func TestWireIncreaseAlwaysFails(t *testing.T) {
+	base := parseSample(t)
+	cur := parseSample(t)
+	cur.CPU = "entirely different silicon"
+	for i := range cur.Benches {
+		if cur.Benches[i].Name != "BenchmarkSketchedPushWire" {
+			continue
+		}
+		w := make([]float64, len(cur.Benches[i].WireBPush))
+		for j, v := range cur.Benches[i].WireBPush {
+			w[j] = v * 2
+		}
+		cur.Benches[i].WireBPush = w
+	}
+	report, failures := compareRuns(base, cur, 10, false)
+	if len(failures) != 1 {
+		t.Fatalf("want 1 failure, got %d\n%s", len(failures), report)
+	}
+	if !strings.Contains(failures[0], "wire-B/push") {
+		t.Errorf("failure is not the wire gate: %s", failures[0])
+	}
+	if !strings.Contains(report, "WIRE-INCREASE") {
+		t.Errorf("report does not flag the wire increase:\n%s", report)
+	}
+}
+
 // TestCrossMachineNsNotGated: a huge slowdown on different hardware is
 // reported but does not fail, unless -strict.
 func TestCrossMachineNsNotGated(t *testing.T) {
@@ -146,8 +183,8 @@ func TestVanishedBenchmarkFails(t *testing.T) {
 	cur := parseSample(t)
 	cur.Benches = cur.Benches[:1]
 	_, failures := compareRuns(base, cur, 10, false)
-	if len(failures) != 2 {
-		t.Fatalf("want 2 missing-benchmark failures, got %d: %v", len(failures), failures)
+	if len(failures) != 3 {
+		t.Fatalf("want 3 missing-benchmark failures, got %d: %v", len(failures), failures)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"goparsvd/internal/apmos"
 	"goparsvd/internal/core"
 	"goparsvd/internal/launch"
+	"goparsvd/internal/mat"
 	"goparsvd/internal/mpi"
 	"goparsvd/internal/mpi/tcptransport"
 	"goparsvd/internal/rla"
@@ -141,6 +142,26 @@ func runSession(rank, np int, listenAddr string, opts tcptransport.Options) erro
 			if err != nil {
 				return false, err
 			}
+			if eng == nil {
+				eng = core.NewParallel(comm, copts)
+				eng.Initialize(block)
+				localRows = block.Rows()
+			} else {
+				eng.IncorporateData(block)
+			}
+			return false, okStatus("")
+		case launch.SessPushSketch:
+			if !inited {
+				return false, errors.New("PUSH-SKETCH before INIT")
+			}
+			qblock, sfull, err := launch.DecodeFactorPair(body)
+			if err != nil {
+				return false, err
+			}
+			// Reconstruct this rank's row block of the batch: the launcher
+			// scattered Q's rows, so Q_r·S is exactly the block PUSH would
+			// have carried, and the same collective update runs on it.
+			block := mat.Mul(qblock, sfull)
 			if eng == nil {
 				eng = core.NewParallel(comm, copts)
 				eng.Initialize(block)

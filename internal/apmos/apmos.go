@@ -146,7 +146,13 @@ func Decompose(c *mpi.Comm, a *mat.Dense, opts Options) (modes *mat.Dense, s []f
 	if c.Rank() == 0 {
 		wglobal := mat.HStack(gathered...)
 		if opts.LowRank {
-			x, lam = rla.LowRankSVD(wglobal, opts.R2, opts.RLA)
+			var err error
+			x, lam, err = rla.LowRankSVD(wglobal, opts.R2, opts.RLA)
+			if err != nil {
+				// withDefaults pins R2 >= 1 and wglobal is never empty, so
+				// a rejection here is a broken internal invariant.
+				panic(fmt.Sprintf("apmos: low-rank SVD: %v", err))
+			}
 		} else {
 			x, lam, _ = linalg.SVD(wglobal)
 		}

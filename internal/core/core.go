@@ -249,7 +249,13 @@ func (p *Parallel) parallelQR(ll *mat.Dense) (qlocal, unew *mat.Dense, snew []fl
 			if t := minInt(rfinal.Rows(), rfinal.Cols()); k > t {
 				k = t
 			}
-			unew, snew = rla.LowRankSVDWith(&p.ws, rfinal, k, p.opts.RLA)
+			var err error
+			unew, snew, err = rla.LowRankSVDWith(&p.ws, rfinal, k, p.opts.RLA)
+			if err != nil {
+				// Options are validated at construction and rfinal is never
+				// empty, so a rejection here is a broken internal invariant.
+				panic(fmt.Sprintf("core: low-rank parallel QR: %v", err))
+			}
 		} else {
 			var v *mat.Dense
 			unew, snew, v = linalg.SVDWith(&p.ws, rfinal)

@@ -17,6 +17,12 @@ package launch
 //	PUSH      body = data body (this rank's row block of one snapshot batch,
 //	          encoded with tcptransport.AppendMessageBody — the same
 //	          bit-exact float64 framing the rank mesh itself uses)
+//	PUSH-SKETCH body = factor-pair body (EncodeFactorPair): this rank's row
+//	          block of the orthonormal sketch basis Q plus the full L×B
+//	          projection S = QᵀA; the worker reconstructs its row block of
+//	          the batch as Q_r·S and feeds the same update path as PUSH,
+//	          so only L·(M_r+B) floats cross the wire per rank instead of
+//	          the raw M_r×B block
 //	SPECTRUM  empty body; every rank replies FLOATS(singular values)
 //	MODES-SHA empty body; collective mode gather, rank 0's OK reply carries
 //	          the SHA-256 fingerprint of the assembled M×K matrix
@@ -68,6 +74,9 @@ const (
 	SessStats
 	SessSave
 	SessShutdown
+	// SessPushSketch was appended after SessShutdown so no pre-existing
+	// verb value shifted when the compressed push landed.
+	SessPushSketch
 )
 
 const (
@@ -95,6 +104,8 @@ func verbName(v byte) string {
 		return "SAVE"
 	case SessShutdown:
 		return "SHUTDOWN"
+	case SessPushSketch:
+		return "PUSH-SKETCH"
 	case SessRendezvous:
 		return "RENDEZVOUS"
 	case SessOK:
@@ -239,6 +250,44 @@ func DecodeBlock(body []byte) (*mat.Dense, error) {
 		}
 	}
 	return mat.NewFromData(m.Rows, m.Cols, m.Data), nil
+}
+
+// EncodeFactorPair renders a sketched factor pair (Q row block + full S)
+// as the PUSH-SKETCH payload: a u32le length prefix over Q's data body,
+// then Q's body, then S's body — both in the same bit-exact float64
+// framing as PUSH, so a replayed pair reconstructs identically.
+func EncodeFactorPair(q, s *mat.Dense) []byte {
+	qb := EncodeBlock(q)
+	sb := EncodeBlock(s)
+	out := make([]byte, 4, 4+len(qb)+len(sb))
+	binary.LittleEndian.PutUint32(out, uint32(len(qb)))
+	out = append(out, qb...)
+	return append(out, sb...)
+}
+
+// DecodeFactorPair parses a PUSH-SKETCH payload, enforcing the pair
+// invariants at the protocol boundary: both factors pass DecodeBlock's
+// dimension and finiteness checks, and Q's column count matches S's row
+// count so the reconstruction Q·S is well-formed.
+func DecodeFactorPair(body []byte) (q, s *mat.Dense, err error) {
+	if len(body) < 4 {
+		return nil, nil, fmt.Errorf("launch: factor-pair payload of %d bytes is too short", len(body))
+	}
+	qlen := binary.LittleEndian.Uint32(body)
+	if int(qlen) > len(body)-4 {
+		return nil, nil, fmt.Errorf("launch: factor-pair payload declares a %d-byte Q body but carries %d bytes", qlen, len(body)-4)
+	}
+	if q, err = DecodeBlock(body[4 : 4+qlen]); err != nil {
+		return nil, nil, fmt.Errorf("launch: factor-pair Q: %w", err)
+	}
+	if s, err = DecodeBlock(body[4+qlen:]); err != nil {
+		return nil, nil, fmt.Errorf("launch: factor-pair S: %w", err)
+	}
+	if q.Cols() != s.Rows() {
+		return nil, nil, fmt.Errorf("launch: factor pair has mismatched inner dimension: Q is %dx%d, S is %dx%d",
+			q.Rows(), q.Cols(), s.Rows(), s.Cols())
+	}
+	return q, s, nil
 }
 
 // EncodeFloats renders a vector as a data body (the FLOATS payload).

@@ -444,6 +444,56 @@ func (s *Session) Push(b *mat.Dense) error {
 	return nil
 }
 
+// PushSketch scatters one compressed snapshot batch: each rank receives
+// its contiguous row block of the orthonormal sketch basis q (the same
+// grid.Partition split Push uses) plus the full L×B projection sk, and
+// reconstructs its row block of the batch as Q_r·S before entering the
+// same collective update PUSH drives. Only L·(M_r+B) floats cross the
+// wire per rank instead of the raw M_r×B block. Validation happens here,
+// before any frame is written, so a bad pair does not fail the session.
+func (s *Session) PushSketch(q, sk *mat.Dense) error {
+	if s.failed != nil {
+		return s.failed
+	}
+	if s.closed {
+		return fmt.Errorf("launch: session is closed")
+	}
+	if q == nil || q.IsEmpty() || sk == nil || sk.IsEmpty() {
+		return fmt.Errorf("launch: empty sketch factor pair")
+	}
+	if q.Cols() != sk.Rows() {
+		return fmt.Errorf("launch: factor pair has mismatched inner dimension: Q is %dx%d, S is %dx%d",
+			q.Rows(), q.Cols(), sk.Rows(), sk.Cols())
+	}
+	if s.rows == 0 {
+		if q.Rows() < s.cfg.Ranks {
+			return fmt.Errorf("launch: %d snapshot rows cannot be split across %d ranks", q.Rows(), s.cfg.Ranks)
+		}
+	} else if q.Rows() != s.rows {
+		return fmt.Errorf("launch: sketch factor Q has %d rows, want %d", q.Rows(), s.rows)
+	}
+	for _, m := range []*mat.Dense{q, sk} {
+		for _, v := range m.RawData() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("launch: sketch factor pair contains a non-finite value (%g)", v)
+			}
+		}
+	}
+	parts := s.parts
+	if s.rows == 0 {
+		parts = grid.Partition(q.Rows(), s.cfg.Ranks)
+	}
+	if _, err := s.op(SessPushSketch, func(r int) []byte {
+		return EncodeFactorPair(q.SliceRows(parts[r].Start, parts[r].End), sk)
+	}); err != nil {
+		return err
+	}
+	if s.rows == 0 {
+		s.rows, s.parts = q.Rows(), parts
+	}
+	return nil
+}
+
 // Spectrum returns the current truncated singular values. Every rank
 // reports its copy (they advance in lockstep through the closing
 // broadcast of each update); a disagreement is a protocol violation and

@@ -25,14 +25,16 @@ const errProbes = 10
 // blocks of the given width until the estimated spectral-norm residual
 // ‖A − QQᵀA‖₂ falls below tol, or the basis saturates at min(m, n)
 // columns. The final basis width is data-dependent: rapidly decaying
-// spectra stop early.
-func AdaptiveRangeFinder(a *mat.Dense, tol float64, block int, opts Options) *mat.Dense {
+// spectra stop early. Invalid tolerance or block width is reported as an
+// error, never a panic: both reach this package straight from public
+// facade options.
+func AdaptiveRangeFinder(a *mat.Dense, tol float64, block int, opts Options) (*mat.Dense, error) {
 	opts = opts.withDefaults()
 	if tol <= 0 {
-		panic(fmt.Sprintf("rla: AdaptiveRangeFinder tol = %g <= 0", tol))
+		return nil, fmt.Errorf("rla: AdaptiveRangeFinder tol = %g <= 0", tol)
 	}
 	if block < 1 {
-		panic(fmt.Sprintf("rla: AdaptiveRangeFinder block = %d < 1", block))
+		return nil, fmt.Errorf("rla: AdaptiveRangeFinder block = %d < 1", block)
 	}
 	m, n := a.Dims()
 	limit := min(m, n)
@@ -47,7 +49,7 @@ func AdaptiveRangeFinder(a *mat.Dense, tol float64, block int, opts Options) *ma
 			width = limit - q.Cols()
 		}
 		if width <= 0 {
-			return q
+			return q, nil
 		}
 		y := mat.Mul(a, Gaussian(n, width, rng))
 		for pass := 0; pass < 2; pass++ {
@@ -74,19 +76,19 @@ func AdaptiveRangeFinder(a *mat.Dense, tol float64, block int, opts Options) *ma
 		}
 		if q == nil {
 			// A is (numerically) zero: an empty basis satisfies any tol.
-			return mat.New(m, 0)
+			return mat.New(m, 0), nil
 		}
 		if q.Cols() >= limit {
-			return q
+			return q, nil
 		}
 		if estimateResidual(a, q, rng) <= tol {
-			return q
+			return q, nil
 		}
 		if keep == 0 {
 			// No new directions found but the estimate is still above
 			// tol: the residual estimate is dominated by noise at machine
 			// precision; stop rather than loop forever.
-			return q
+			return q, nil
 		}
 	}
 }
@@ -109,13 +111,16 @@ func estimateResidual(a, q *mat.Dense, rng *rand.Rand) float64 {
 // AdaptiveSVD computes an approximate SVD whose rank is chosen by the
 // adaptive range finder for the given residual tolerance: the returned
 // factors satisfy ‖A − U·diag(s)·Vᵀ‖₂ ≲ tol with high probability.
-func AdaptiveSVD(a *mat.Dense, tol float64, block int, opts Options) (u *mat.Dense, s []float64, v *mat.Dense) {
-	q := AdaptiveRangeFinder(a, tol, block, opts)
+func AdaptiveSVD(a *mat.Dense, tol float64, block int, opts Options) (u *mat.Dense, s []float64, v *mat.Dense, err error) {
+	q, err := AdaptiveRangeFinder(a, tol, block, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	if q.Cols() == 0 {
 		m, n := a.Dims()
-		return mat.New(m, 0), nil, mat.New(n, 0)
+		return mat.New(m, 0), nil, mat.New(n, 0), nil
 	}
 	b := mat.MulTransA(q, a)
 	ub, s, v := linalg.SVD(b)
-	return mat.Mul(q, ub), s, v
+	return mat.Mul(q, ub), s, v, nil
 }

@@ -9,12 +9,32 @@ import (
 	"goparsvd/internal/testutil"
 )
 
+// mustAdaptiveRangeFinder / mustAdaptiveSVD unwrap the error returns for
+// the tests that feed known-valid arguments.
+func mustAdaptiveRangeFinder(t *testing.T, a *mat.Dense, tol float64, block int, opts Options) *mat.Dense {
+	t.Helper()
+	q, err := AdaptiveRangeFinder(a, tol, block, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func mustAdaptiveSVD(t *testing.T, a *mat.Dense, tol float64, block int, opts Options) (*mat.Dense, []float64, *mat.Dense) {
+	t.Helper()
+	u, s, v, err := AdaptiveSVD(a, tol, block, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, s, v
+}
+
 func TestAdaptiveRangeFinderStopsEarlyOnLowRank(t *testing.T) {
 	// An exactly rank-4 matrix must be captured with a basis close to 4
 	// columns (one block may overshoot), far below min(m,n).
 	rng := testutil.NewRand(41)
 	a, _ := testutil.RandomLowRank(80, 40, 4, 0, rng)
-	q := AdaptiveRangeFinder(a, 1e-8, 3, DefaultOptions())
+	q := mustAdaptiveRangeFinder(t, a, 1e-8, 3, DefaultOptions())
 	if q.Cols() > 12 {
 		t.Fatalf("basis has %d columns for a rank-4 matrix", q.Cols())
 	}
@@ -37,7 +57,7 @@ func TestAdaptiveRangeFinderMeetsTolerance(t *testing.T) {
 	}
 	a := mat.MulTransB(mat.MulDiag(u, s), v)
 	for _, tol := range []float64{1e-1, 1e-3, 1e-6} {
-		q := AdaptiveRangeFinder(a, tol, 4, DefaultOptions())
+		q := mustAdaptiveRangeFinder(t, a, tol, 4, DefaultOptions())
 		proj := mat.Mul(q, mat.MulTransA(q, a))
 		resid := mat.Sub(a, proj).FroNorm()
 		if resid > tol*math.Sqrt(20) { // Fro ≤ sqrt(rank)·spectral
@@ -55,8 +75,8 @@ func TestAdaptiveRangeFinderTighterTolNeedsWiderBasis(t *testing.T) {
 		s[i] = math.Pow(0.6, float64(i))
 	}
 	a := mat.MulTransB(mat.MulDiag(u, s), v)
-	loose := AdaptiveRangeFinder(a, 1e-1, 2, DefaultOptions()).Cols()
-	tight := AdaptiveRangeFinder(a, 1e-6, 2, DefaultOptions()).Cols()
+	loose := mustAdaptiveRangeFinder(t, a, 1e-1, 2, DefaultOptions()).Cols()
+	tight := mustAdaptiveRangeFinder(t, a, 1e-6, 2, DefaultOptions()).Cols()
 	if tight <= loose {
 		t.Fatalf("tight tol gave %d cols, loose gave %d", tight, loose)
 	}
@@ -65,13 +85,13 @@ func TestAdaptiveRangeFinderTighterTolNeedsWiderBasis(t *testing.T) {
 func TestAdaptiveRangeFinderOrthonormal(t *testing.T) {
 	rng := testutil.NewRand(44)
 	a := testutil.RandomDense(50, 30, rng)
-	q := AdaptiveRangeFinder(a, 1e-2, 5, DefaultOptions())
+	q := mustAdaptiveRangeFinder(t, a, 1e-2, 5, DefaultOptions())
 	testutil.CheckOrthonormalColumns(t, "Q", q, 1e-10)
 }
 
 func TestAdaptiveRangeFinderZeroMatrix(t *testing.T) {
 	a := mat.New(20, 10)
-	q := AdaptiveRangeFinder(a, 1e-6, 4, DefaultOptions())
+	q := mustAdaptiveRangeFinder(t, a, 1e-6, 4, DefaultOptions())
 	if q.Cols() != 0 {
 		t.Fatalf("zero matrix produced %d basis columns", q.Cols())
 	}
@@ -82,25 +102,35 @@ func TestAdaptiveRangeFinderSaturates(t *testing.T) {
 	// at min(m, n) columns, not loop.
 	rng := testutil.NewRand(45)
 	a := testutil.RandomDense(20, 8, rng)
-	q := AdaptiveRangeFinder(a, 1e-300, 3, DefaultOptions())
+	q := mustAdaptiveRangeFinder(t, a, 1e-300, 3, DefaultOptions())
 	if q.Cols() != 8 {
 		t.Fatalf("saturated basis has %d cols, want 8", q.Cols())
 	}
 }
 
-func TestAdaptiveRangeFinderInvalidArgsPanics(t *testing.T) {
+func TestAdaptiveRangeFinderInvalidArgsError(t *testing.T) {
+	// Invalid arguments are reported as errors, never panics: they reach
+	// this package straight from public facade options.
 	a := mat.New(4, 4)
-	for name, fn := range map[string]func(){
-		"tol":   func() { AdaptiveRangeFinder(a, 0, 2, DefaultOptions()) },
-		"block": func() { AdaptiveRangeFinder(a, 1e-3, 0, DefaultOptions()) },
+	for name, fn := range map[string]func() error{
+		"tol": func() error {
+			_, err := AdaptiveRangeFinder(a, 0, 2, DefaultOptions())
+			return err
+		},
+		"block": func() error {
+			_, err := AdaptiveRangeFinder(a, 1e-3, 0, DefaultOptions())
+			return err
+		},
 	} {
 		t.Run(name, func(t *testing.T) {
 			defer func() {
-				if recover() == nil {
-					t.Fatalf("%s did not panic", name)
+				if r := recover(); r != nil {
+					t.Fatalf("%s panicked: %v", name, r)
 				}
 			}()
-			fn()
+			if err := fn(); err == nil {
+				t.Fatalf("%s did not error", name)
+			}
 		})
 	}
 }
@@ -108,7 +138,7 @@ func TestAdaptiveRangeFinderInvalidArgsPanics(t *testing.T) {
 func TestAdaptiveSVDMatchesDeterministicSpectrum(t *testing.T) {
 	rng := testutil.NewRand(46)
 	a, _ := testutil.RandomLowRank(60, 30, 6, 0, rng)
-	u, s, v := AdaptiveSVD(a, 1e-9, 4, DefaultOptions())
+	u, s, v := mustAdaptiveSVD(t, a, 1e-9, 4, DefaultOptions())
 	_, sDet, _ := linalg.SVD(a)
 	for i := 0; i < 6; i++ {
 		if math.Abs(s[i]-sDet[i]) > 1e-9*(1+sDet[0]) {
@@ -122,7 +152,7 @@ func TestAdaptiveSVDMatchesDeterministicSpectrum(t *testing.T) {
 }
 
 func TestAdaptiveSVDZeroMatrix(t *testing.T) {
-	u, s, v := AdaptiveSVD(mat.New(6, 3), 1e-6, 2, DefaultOptions())
+	u, s, v := mustAdaptiveSVD(t, mat.New(6, 3), 1e-6, 2, DefaultOptions())
 	if len(s) != 0 || u.Cols() != 0 || v.Cols() != 0 {
 		t.Fatal("zero matrix should produce empty factors")
 	}

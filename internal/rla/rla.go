@@ -85,19 +85,21 @@ func fillGaussian(m *mat.Dense, rng *rand.Rand) {
 // clamped to min(m, n)) whose span approximates the range of A, via
 // Y = A·Ω with a Gaussian Ω followed by QR, optionally sharpened by
 // power iterations with re-orthogonalization at every half-step
-// (the numerically stable subspace-iteration form).
-func RangeFinder(a *mat.Dense, k int, opts Options) *mat.Dense {
+// (the numerically stable subspace-iteration form). A target rank below
+// one is reported as an error, never a panic: the rank reaches this
+// package straight from public facade options.
+func RangeFinder(a *mat.Dense, k int, opts Options) (*mat.Dense, error) {
 	return RangeFinderWith(nil, a, k, opts)
 }
 
 // RangeFinderWith is RangeFinder drawing the sketch, the power-iteration
 // intermediates and the returned basis from ws, so repeated calls with
 // steady shapes (the streaming low-rank path) reuse their buffers.
-func RangeFinderWith(ws *mat.Workspace, a *mat.Dense, k int, opts Options) *mat.Dense {
+func RangeFinderWith(ws *mat.Workspace, a *mat.Dense, k int, opts Options) (*mat.Dense, error) {
 	opts = opts.withDefaults()
 	m, n := a.Dims()
 	if k < 1 {
-		panic(fmt.Sprintf("rla: RangeFinder target rank %d < 1", k))
+		return nil, fmt.Errorf("rla: RangeFinder target rank %d < 1", k)
 	}
 	l := k + opts.Oversample
 	if l > n {
@@ -106,6 +108,14 @@ func RangeFinderWith(ws *mat.Workspace, a *mat.Dense, k int, opts Options) *mat.
 	if l > m {
 		l = m
 	}
+	return rangeBasis(ws, a, l, opts), nil
+}
+
+// rangeBasis is the sketch-QR-power-iterate core shared by RangeFinderWith
+// and SketchFactors: an orthonormal m×l basis for a width l the caller has
+// already clamped to [1, min(m, n)].
+func rangeBasis(ws *mat.Workspace, a *mat.Dense, l int, opts Options) *mat.Dense {
+	m, n := a.Dims()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	omega := ws.GetUninit(n, l)
 	fillGaussian(omega, rng)
@@ -134,26 +144,30 @@ func RangeFinderWith(ws *mat.Workspace, a *mat.Dense, k int, opts Options) *mat.
 // the Halko–Martinsson–Tropp scheme: project onto the sketched range,
 // solve the small problem exactly, and lift back (paper Eqs. 7–11).
 // U is m×k, s has length k, V is n×k (k clamped to min(m, n)).
-func RandomizedSVD(a *mat.Dense, k int, opts Options) (u *mat.Dense, s []float64, v *mat.Dense) {
+func RandomizedSVD(a *mat.Dense, k int, opts Options) (u *mat.Dense, s []float64, v *mat.Dense, err error) {
 	return RandomizedSVDWith(nil, a, k, opts)
 }
 
 // RandomizedSVDWith is RandomizedSVD with every temporary and the returned
 // factors drawn from ws; the caller owns u, s and v.
-func RandomizedSVDWith(ws *mat.Workspace, a *mat.Dense, k int, opts Options) (u *mat.Dense, s []float64, v *mat.Dense) {
+func RandomizedSVDWith(ws *mat.Workspace, a *mat.Dense, k int, opts Options) (u *mat.Dense, s []float64, v *mat.Dense, err error) {
 	m, n := a.Dims()
 	t := min(m, n)
 	if k > t {
 		k = t
 	}
 	if k < 1 {
-		panic(fmt.Sprintf("rla: RandomizedSVD target rank %d < 1", k))
+		return nil, nil, nil, fmt.Errorf("rla: RandomizedSVD target rank %d < 1", k)
 	}
-	q := RangeFinderWith(ws, a, k, opts)
+	q, err := RangeFinderWith(ws, a, k, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	l := q.Cols()
 	b := ws.GetUninit(l, n)
 	mat.MulTransAInto(b, q, a) // l×n, the small matrix Ã = Q*·A
-	ub, s, v := linalg.SVDWith(ws, b)
+	var ub *mat.Dense
+	ub, s, v = linalg.SVDWith(ws, b)
 	ws.Put(b)
 	u = ws.GetUninit(m, ub.Cols())
 	mat.MulInto(u, q, ub) // lift: U = Q·Ũ (paper Eq. 10)
@@ -169,22 +183,69 @@ func RandomizedSVDWith(ws *mat.Workspace, a *mat.Dense, k int, opts Options) (u 
 		u, v = uk, vk
 		s = s[:k]
 	}
-	return u, s, v
+	return u, s, v, nil
 }
 
 // LowRankSVD is the paper's `low_rank_svd(wglobal, K)` helper: it returns
 // only the left factor and the singular values, which is all the APMOS and
 // streaming pipelines consume.
-func LowRankSVD(a *mat.Dense, k int, opts Options) (u *mat.Dense, s []float64) {
+func LowRankSVD(a *mat.Dense, k int, opts Options) (u *mat.Dense, s []float64, err error) {
 	return LowRankSVDWith(nil, a, k, opts)
 }
 
 // LowRankSVDWith is LowRankSVD drawing its buffers from ws; the caller owns
 // the returned factors.
-func LowRankSVDWith(ws *mat.Workspace, a *mat.Dense, k int, opts Options) (u *mat.Dense, s []float64) {
-	u, s, v := RandomizedSVDWith(ws, a, k, opts)
+func LowRankSVDWith(ws *mat.Workspace, a *mat.Dense, k int, opts Options) (u *mat.Dense, s []float64, err error) {
+	u, s, v, err := RandomizedSVDWith(ws, a, k, opts)
+	if err != nil {
+		return nil, nil, err
+	}
 	ws.Put(v)
-	return u, s
+	return u, s, nil
+}
+
+// SketchFactors compresses A (m×n) into the factor pair (Q, S) with
+// A ≈ Q·S: Q is an m×l orthonormal range basis, S = QᵀA is l×n, and the
+// pair costs l·(m+n) floats against A's m·n. When tol > 0 the width l is
+// chosen adaptively (AdaptiveRangeFinder, so the estimated residual obeys
+// ‖A − QS‖₂ ≲ tol w.h.p.) and then capped at maxRank — the adaptive basis
+// is nested by construction, so truncation keeps the leading directions.
+// When tol == 0 the basis has exactly min(maxRank, m, n) columns: unlike
+// RangeFinder, no oversampling surplus is kept, because Q crosses the
+// wire. A nil pair with a nil error reports that sketching would not
+// compress (l·(m+n) ≥ m·n, or A is empty/numerically zero) and the caller
+// should ship A raw.
+func SketchFactors(a *mat.Dense, tol float64, block, maxRank int, opts Options) (q, s *mat.Dense, err error) {
+	if maxRank < 1 {
+		return nil, nil, fmt.Errorf("rla: SketchFactors max rank %d < 1", maxRank)
+	}
+	if tol < 0 {
+		return nil, nil, fmt.Errorf("rla: SketchFactors tol = %g < 0", tol)
+	}
+	opts = opts.withDefaults()
+	m, n := a.Dims()
+	l := min(maxRank, min(m, n))
+	if l < 1 {
+		return nil, nil, nil
+	}
+	if tol > 0 {
+		if block < 1 {
+			return nil, nil, fmt.Errorf("rla: SketchFactors block = %d < 1", block)
+		}
+		q, err = AdaptiveRangeFinder(a, tol, block, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if q.Cols() > l {
+			q = q.SliceCols(0, l)
+		}
+	} else {
+		q = rangeBasis(nil, a, l, opts)
+	}
+	if lq := q.Cols(); lq == 0 || lq*(m+n) >= m*n {
+		return nil, nil, nil
+	}
+	return q, mat.MulTransA(q, a), nil
 }
 
 func min(a, b int) int {

@@ -11,6 +11,35 @@ import (
 	"goparsvd/internal/testutil"
 )
 
+// mustRangeFinder / mustRandomizedSVD / mustLowRankSVD unwrap the error
+// returns for the tests that feed known-valid arguments.
+func mustRangeFinder(t *testing.T, a *mat.Dense, k int, opts Options) *mat.Dense {
+	t.Helper()
+	q, err := RangeFinder(a, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func mustRandomizedSVD(t *testing.T, a *mat.Dense, k int, opts Options) (*mat.Dense, []float64, *mat.Dense) {
+	t.Helper()
+	u, s, v, err := RandomizedSVD(a, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, s, v
+}
+
+func mustLowRankSVD(t *testing.T, a *mat.Dense, k int, opts Options) (*mat.Dense, []float64) {
+	t.Helper()
+	u, s, err := LowRankSVD(a, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, s
+}
+
 func TestGaussianShapeAndMoments(t *testing.T) {
 	rng := testutil.NewRand(1)
 	g := Gaussian(200, 50, rng)
@@ -36,7 +65,7 @@ func TestGaussianShapeAndMoments(t *testing.T) {
 func TestRangeFinderOrthonormal(t *testing.T) {
 	rng := testutil.NewRand(2)
 	a := testutil.RandomDense(60, 20, rng)
-	q := RangeFinder(a, 5, DefaultOptions())
+	q := mustRangeFinder(t, a, 5, DefaultOptions())
 	testutil.CheckOrthonormalColumns(t, "Q", q, 1e-12)
 	if q.Rows() != 60 || q.Cols() != 15 { // k + oversample
 		t.Fatalf("Q shape %dx%d", q.Rows(), q.Cols())
@@ -46,7 +75,7 @@ func TestRangeFinderOrthonormal(t *testing.T) {
 func TestRangeFinderClampsWidth(t *testing.T) {
 	rng := testutil.NewRand(3)
 	a := testutil.RandomDense(30, 6, rng)
-	q := RangeFinder(a, 5, DefaultOptions()) // k+p = 15 > n = 6
+	q := mustRangeFinder(t, a, 5, DefaultOptions()) // k+p = 15 > n = 6
 	if q.Cols() != 6 {
 		t.Fatalf("Q cols %d, want clamped to 6", q.Cols())
 	}
@@ -56,7 +85,7 @@ func TestRangeFinderCapturesExactLowRank(t *testing.T) {
 	// For an exactly rank-r matrix, ‖A − QQᵀA‖ must vanish.
 	rng := testutil.NewRand(4)
 	a, _ := testutil.RandomLowRank(50, 30, 4, 0, rng)
-	q := RangeFinder(a, 4, DefaultOptions())
+	q := mustRangeFinder(t, a, 4, DefaultOptions())
 	proj := mat.Mul(q, mat.MulTransA(q, a))
 	if resid := mat.Sub(a, proj).FroNorm() / a.FroNorm(); resid > 1e-10 {
 		t.Fatalf("range not captured: relative residual %g", resid)
@@ -66,7 +95,7 @@ func TestRangeFinderCapturesExactLowRank(t *testing.T) {
 func TestRandomizedSVDShapes(t *testing.T) {
 	rng := testutil.NewRand(5)
 	a := testutil.RandomDense(40, 25, rng)
-	u, s, v := RandomizedSVD(a, 6, DefaultOptions())
+	u, s, v := mustRandomizedSVD(t, a, 6, DefaultOptions())
 	if u.Rows() != 40 || u.Cols() != 6 || len(s) != 6 || v.Rows() != 25 || v.Cols() != 6 {
 		t.Fatalf("shapes U %dx%d s %d V %dx%d", u.Rows(), u.Cols(), len(s), v.Rows(), v.Cols())
 	}
@@ -77,7 +106,7 @@ func TestRandomizedSVDShapes(t *testing.T) {
 func TestRandomizedSVDExactOnLowRank(t *testing.T) {
 	rng := testutil.NewRand(6)
 	a, wantS := testutil.RandomLowRank(60, 40, 5, 0, rng)
-	u, s, v := RandomizedSVD(a, 5, DefaultOptions())
+	u, s, v := mustRandomizedSVD(t, a, 5, DefaultOptions())
 	if !testutil.CloseSlices(s, wantS, 1e-9) {
 		t.Fatalf("singular values %v, want %v", s, wantS)
 	}
@@ -95,7 +124,7 @@ func TestRandomizedSVDMatchesDeterministicLeadingValues(t *testing.T) {
 	_, sDet, _ := linalg.SVD(a)
 	opts := DefaultOptions()
 	opts.PowerIters = 2
-	_, sRand, _ := RandomizedSVD(a, 8, opts)
+	_, sRand, _ := mustRandomizedSVD(t, a, 8, opts)
 	for i := 0; i < 8; i++ {
 		if math.Abs(sRand[i]-sDet[i]) > 1e-3*sDet[0] {
 			t.Fatalf("s[%d]: randomized %g vs deterministic %g", i, sRand[i], sDet[i])
@@ -107,8 +136,8 @@ func TestRandomizedSVDDeterministicWithSeed(t *testing.T) {
 	rng := testutil.NewRand(8)
 	a := testutil.RandomDense(30, 20, rng)
 	opts := DefaultOptions()
-	u1, s1, _ := RandomizedSVD(a, 4, opts)
-	u2, s2, _ := RandomizedSVD(a, 4, opts)
+	u1, s1, _ := mustRandomizedSVD(t, a, 4, opts)
+	u2, s2, _ := mustRandomizedSVD(t, a, 4, opts)
 	if !testutil.CloseSlices(s1, s2, 0) || !mat.EqualApprox(u1, u2, 0) {
 		t.Fatal("same seed must give identical factors")
 	}
@@ -119,8 +148,8 @@ func TestRandomizedSVDSeedChangesSketch(t *testing.T) {
 	a := testutil.RandomDense(30, 20, rng)
 	o1 := Options{Oversample: 2, PowerIters: 0, Seed: 1}
 	o2 := Options{Oversample: 2, PowerIters: 0, Seed: 2}
-	u1, _, _ := RandomizedSVD(a, 4, o1)
-	u2, _, _ := RandomizedSVD(a, 4, o2)
+	u1, _, _ := mustRandomizedSVD(t, a, 4, o1)
+	u2, _, _ := mustRandomizedSVD(t, a, 4, o2)
 	// With no power iterations on a full-rank random matrix the bases
 	// should differ measurably between seeds.
 	if mat.EqualApprox(u1, u2, 1e-12) {
@@ -131,7 +160,7 @@ func TestRandomizedSVDSeedChangesSketch(t *testing.T) {
 func TestRandomizedSVDClampsRank(t *testing.T) {
 	rng := testutil.NewRand(10)
 	a := testutil.RandomDense(10, 4, rng)
-	u, s, v := RandomizedSVD(a, 99, DefaultOptions())
+	u, s, v := mustRandomizedSVD(t, a, 99, DefaultOptions())
 	if u.Cols() != 4 || len(s) != 4 || v.Cols() != 4 {
 		t.Fatalf("rank not clamped: %d", len(s))
 	}
@@ -141,8 +170,8 @@ func TestLowRankSVDMatchesRandomizedSVD(t *testing.T) {
 	rng := testutil.NewRand(11)
 	a := testutil.RandomDense(25, 15, rng)
 	opts := DefaultOptions()
-	u1, s1 := LowRankSVD(a, 5, opts)
-	u2, s2, _ := RandomizedSVD(a, 5, opts)
+	u1, s1 := mustLowRankSVD(t, a, 5, opts)
+	u2, s2, _ := mustRandomizedSVD(t, a, 5, opts)
 	if !mat.EqualApprox(u1, u2, 0) || !testutil.CloseSlices(s1, s2, 0) {
 		t.Fatal("LowRankSVD must be the left part of RandomizedSVD")
 	}
@@ -161,7 +190,7 @@ func TestPowerIterationsImproveAccuracy(t *testing.T) {
 	}
 	a := mat.MulTransB(mat.MulDiag(u, s), v)
 	resid := func(powerIters int, seed int64) float64 {
-		q := RangeFinder(a, 5, Options{Oversample: 2, PowerIters: powerIters, Seed: seed})
+		q := mustRangeFinder(t, a, 5, Options{Oversample: 2, PowerIters: powerIters, Seed: seed})
 		proj := mat.Mul(q, mat.MulTransA(q, a))
 		return mat.Sub(a, proj).FroNorm()
 	}
@@ -197,7 +226,10 @@ func TestPropertyRandomizedErrorNearOptimal(t *testing.T) {
 		a := testutil.RandomDense(m, n, rng)
 		k := 3 + rng.Intn(4)
 		_, sDet, _ := linalg.SVD(a)
-		u, s, v := RandomizedSVD(a, k, Options{Oversample: 8, PowerIters: 2, Seed: seed})
+		u, s, v, err := RandomizedSVD(a, k, Options{Oversample: 8, PowerIters: 2, Seed: seed})
+		if err != nil {
+			return false
+		}
 		recon := mat.MulTransB(mat.MulDiag(u, s), v)
 		got := mat.Sub(a, recon).FroNorm()
 		opt := 0.0

@@ -236,7 +236,14 @@ func (s *SVD) IncorporateData(a *mat.Dense) *SVD {
 func (s *SVD) smallSVD(r *mat.Dense) (*mat.Dense, []float64) {
 	if s.opts.LowRank {
 		t := min(r.Rows(), r.Cols())
-		return rla.LowRankSVDWith(&s.ws, r, min(s.opts.K, t), s.opts.RLA)
+		u, d, err := rla.LowRankSVDWith(&s.ws, r, min(s.opts.K, t), s.opts.RLA)
+		if err != nil {
+			// Options are validated before ingest and r is never empty
+			// here, so rla cannot reject the rank; a failure is a broken
+			// internal invariant, not a caller mistake.
+			panic(fmt.Sprintf("stream: low-rank small SVD: %v", err))
+		}
+		return u, d
 	}
 	u, d, v := linalg.SVDWith(&s.ws, r)
 	s.ws.Put(v)

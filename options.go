@@ -48,6 +48,44 @@ func (b Backend) String() string {
 // runs (paper §3.3; Halko, Martinsson & Tropp).
 type RLA = rla.Options
 
+// SketchConfig tunes WithSketchedPush, the single-pass randomized sketch
+// applied to every batch before it leaves the caller (Li–Kluger–Tygert,
+// arXiv 1612.08709: the sketch, not the data, should cross the wire).
+type SketchConfig struct {
+	// Tol > 0 selects the adaptive rank: the range-finder basis grows
+	// until the estimated residual of the compressed batch falls below
+	// Tol·‖batch‖_F (scale-invariant; the estimate upper-bounds the true
+	// spectral residual w.h.p.). Tol == 0 uses a fixed sketch width of
+	// MaxRank columns.
+	Tol float64
+	// Block is the adaptive basis growth width per round; 0 means 8.
+	// Ignored when Tol == 0.
+	Block int
+	// MaxRank caps the sketch width (the wire cost per push is
+	// 8·width·(M+B) bytes against 8·M·B raw). 0 means 2·K under
+	// WithSketchedPush, and "no cap" for an adaptive standalone Sketch.
+	MaxRank int
+}
+
+// validate rejects configurations no sketch path can honor. The facade
+// defaults MaxRank before calling it, so the Tol==0 && MaxRank==0 arm
+// only fires for a standalone Sketch call.
+func (sc SketchConfig) validate() error {
+	if !(sc.Tol >= 0) { // the negated form also rejects NaN
+		return fmt.Errorf("parsvd: SketchConfig.Tol = %g: must be >= 0 (0 means fixed rank)", sc.Tol)
+	}
+	if sc.Block < 0 {
+		return fmt.Errorf("parsvd: SketchConfig.Block = %d: must be >= 0 (0 means the default)", sc.Block)
+	}
+	if sc.MaxRank < 0 {
+		return fmt.Errorf("parsvd: SketchConfig.MaxRank = %d: must be >= 0", sc.MaxRank)
+	}
+	if sc.Tol == 0 && sc.MaxRank == 0 {
+		return fmt.Errorf("parsvd: SketchConfig needs Tol > 0 (adaptive rank) or MaxRank >= 1 (fixed rank)")
+	}
+	return nil
+}
+
 // TransportConfig tunes the Distributed backend's process fabric.
 type TransportConfig struct {
 	// WorkerBin is the parsvd-worker binary; empty resolves via the
@@ -92,6 +130,11 @@ type config struct {
 	// checkpoints as one shard-local fit of a partitioned stream.
 	shards int
 	shard  core.ShardID
+
+	// sketchOn compresses every pushed batch through the randomized range
+	// finder before it reaches the engine (WithSketchedPush).
+	sketchOn bool
+	sketch   SketchConfig
 }
 
 func defaultConfig() config {
@@ -138,6 +181,31 @@ func WithLowRank(opts ...RLA) Option {
 				return fmt.Errorf("parsvd: WithLowRank: %w", err)
 			}
 			c.rlaOpts = opts[0]
+		}
+		return nil
+	}
+}
+
+// WithSketchedPush compresses every pushed batch into its randomized
+// sketch before it leaves the caller: an M×B batch A becomes the factor
+// pair Q·(QᵀA) — Q an M×L orthonormal range basis, L ≤ MaxRank — and only
+// the pair crosses into the engine (for the Distributed backend, across
+// the wire to the worker fleet, which reconstructs on its side). Spectra
+// stay within the documented tolerance of the unsketched run: exact (to
+// roundoff) when MaxRank covers the batch rank, and within ~Tol·‖batch‖_F
+// per batch when the adaptive rank is active. An optional SketchConfig
+// tunes it; omitting it sketches at a fixed width of 2·K. Batches the
+// sketch cannot compress (L·(M+B) ≥ M·B) are pushed raw. Passing more
+// than one SketchConfig is an error. The RLA knobs of WithLowRank tune
+// this sketch too when both are set.
+func WithSketchedPush(cfg ...SketchConfig) Option {
+	return func(c *config) error {
+		if len(cfg) > 1 {
+			return fmt.Errorf("parsvd: WithSketchedPush takes at most one SketchConfig, got %d", len(cfg))
+		}
+		c.sketchOn = true
+		if len(cfg) == 1 {
+			c.sketch = cfg[0]
 		}
 		return nil
 	}
@@ -263,6 +331,17 @@ func (c *config) validate() error {
 	}
 	if c.shards > 1 && !c.shard.IsZero() {
 		return fmt.Errorf("parsvd: WithShards and WithShard are mutually exclusive: a sharded fit merges to a whole-stream model, a shard mark brands one shard-local fit")
+	}
+	if c.sketchOn {
+		if c.sketch.MaxRank == 0 && c.sketch.Tol == 0 {
+			// The documented default: a fixed sketch twice as wide as the
+			// truncation rank, so the sketch error stays well below what
+			// the K-truncation discards anyway.
+			c.sketch.MaxRank = 2 * c.k
+		}
+		if err := c.sketch.validate(); err != nil {
+			return err
+		}
 	}
 	// The engine layers re-validate, but through the error-returning
 	// path: nothing a misconfigured New can reach panics.

@@ -155,6 +155,10 @@ type Configuration struct {
 	// produces, so a published view exported over HTTP carries the same
 	// provenance a Save would.
 	Shard ShardInfo
+	// Sketched reports WithSketchedPush; Sketch echoes its effective
+	// configuration (MaxRank defaulted), zero when Sketched is false.
+	Sketched bool
+	Sketch   SketchConfig
 }
 
 // Configuration reports the effective options of this SVD. A merge can
@@ -173,6 +177,8 @@ func (s *SVD) Configuration() Configuration {
 		RLA:          s.cfg.rlaOpts,
 		Shards:       s.cfg.shards,
 		Shard:        shardInfo(s.cfg.shard),
+		Sketched:     s.cfg.sketchOn,
+		Sketch:       s.cfg.sketch,
 	}
 }
 
@@ -197,6 +203,17 @@ type Stats struct {
 	// or distributed run; they stay zero for the serial backend.
 	Messages int64
 	Bytes    int64
+	// PushedBytes counts the logical float64 payload of every ingested
+	// batch (8·M·B per push) on every backend, so serial, parallel and
+	// distributed models report comparable ingest volume. WireBytes
+	// counts what actually crossed into the engine: equal to PushedBytes
+	// for raw pushes, the compressed factor-pair size for sketched ones
+	// (WithSketchedPush / PushSketch) — the gap between the two is the
+	// measured wire saving. SketchedPushes counts the pushes that
+	// traveled compressed.
+	PushedBytes    int64
+	WireBytes      int64
+	SketchedPushes int64
 	// Shard is the WithShard provenance mark: this model is one
 	// shard-local fit of a partitioned stream. Zero for whole-stream
 	// models and for merged models (the mark retires into the absorbed
@@ -247,6 +264,14 @@ type SVD struct {
 	rows      int
 	snapshots int
 	updates   int64
+
+	// Traffic counters maintained here for every backend (the engines
+	// only know their own collectives): logical bytes pushed, bytes that
+	// actually crossed into the engine, and how many pushes traveled as
+	// compressed sketches.
+	pushedBytes    int64
+	wireBytes      int64
+	sketchedPushes int64
 
 	// Merge provenance: the shard marks absorbed so far (Merge refuses
 	// the same shard twice) and the accumulated Iwen–Ong truncation
@@ -393,11 +418,29 @@ func (s *SVD) Push(batch *Matrix) error {
 }
 
 // pushLocked forwards a batch to the engine and maintains the ingest
-// counters behind Stats. Called with s.mu held.
+// counters behind Stats. With WithSketchedPush the batch is compressed
+// into its factor pair first and only the pair crosses into the engine;
+// batches the sketch cannot compress fall through to the raw path.
+// Called with s.mu held.
 func (s *SVD) pushLocked(b *Matrix) error {
+	if s.cfg.sketchOn {
+		if err := checkBatch(b, s.rows); err != nil {
+			return err
+		}
+		q, sk, err := sketchBatch(b, s.cfg.sketch, s.cfg.rlaOpts)
+		if err != nil {
+			return err
+		}
+		if q != nil {
+			return s.pushSketchLocked(q, sk)
+		}
+	}
 	if err := s.eng.push(b); err != nil {
 		return err
 	}
+	raw := 8 * int64(b.Rows()*b.Cols())
+	s.pushedBytes += raw
+	s.wireBytes += raw
 	if s.rows == 0 {
 		s.rows = b.Rows()
 	}
@@ -434,6 +477,9 @@ func (s *SVD) Stats() Stats {
 		Shard:     shardInfo(s.cfg.shard),
 		Absorbed:  len(s.absorbed),
 	}
+	st.PushedBytes = s.pushedBytes
+	st.WireBytes = s.wireBytes
+	st.SketchedPushes = s.sketchedPushes
 	if s.eng != nil {
 		es := s.eng.stats()
 		st.Messages, st.Bytes = es.Messages, es.Bytes

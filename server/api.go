@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	parsvd "goparsvd"
@@ -50,6 +51,13 @@ type StatsJSON struct {
 	Updates   int64  `json:"updates"`
 	Messages  int64  `json:"messages"`
 	Bytes     int64  `json:"bytes"`
+	// PushedBytes is the logical snapshot volume ingested (8·M·B per
+	// push, whatever the transport); WireBytes is what actually crossed
+	// the ingress boundary — smaller when sketched pushes compressed it.
+	// SketchedPushes counts the updates that arrived as factor pairs.
+	PushedBytes    int64 `json:"pushed_bytes,omitempty"`
+	WireBytes      int64 `json:"wire_bytes,omitempty"`
+	SketchedPushes int64 `json:"sketched_pushes,omitempty"`
 	// Shard is the model's shard provenance mark ("2/6" for shard 2 of
 	// 6, "" for whole-stream models); Absorbed counts the shard
 	// checkpoints merged into it. Together they let a coordinator — or
@@ -61,16 +69,19 @@ type StatsJSON struct {
 
 func statsJSON(st parsvd.Stats) StatsJSON {
 	return StatsJSON{
-		Backend:   st.Backend.String(),
-		K:         st.K,
-		Ranks:     st.Ranks,
-		Rows:      st.Rows,
-		Snapshots: st.Snapshots,
-		Updates:   st.Updates,
-		Messages:  st.Messages,
-		Bytes:     st.Bytes,
-		Shard:     st.Shard.String(),
-		Absorbed:  st.Absorbed,
+		Backend:        st.Backend.String(),
+		K:              st.K,
+		Ranks:          st.Ranks,
+		Rows:           st.Rows,
+		Snapshots:      st.Snapshots,
+		Updates:        st.Updates,
+		Messages:       st.Messages,
+		Bytes:          st.Bytes,
+		PushedBytes:    st.PushedBytes,
+		WireBytes:      st.WireBytes,
+		SketchedPushes: st.SketchedPushes,
+		Shard:          st.Shard.String(),
+		Absorbed:       st.Absorbed,
 	}
 }
 
@@ -89,6 +100,16 @@ type ModelInfo struct {
 type PushAck struct {
 	Snapshots int    `json:"snapshots"`
 	Version   uint64 `json:"version"`
+}
+
+// SketchPushJSON is the wire form of a sketched push: the compressed
+// (Q, S) factor pair parsvd.Sketch produces from an M×B batch, carrying
+// L·(M+B) values instead of M·B. The server reconstructs Q·S on its side
+// of the wire (or forwards the pair to a distributed fleet), so the
+// ingress payload — and the WAL record — stay compressed.
+type SketchPushJSON struct {
+	Q MatrixJSON `json:"q"`
+	S MatrixJSON `json:"s"`
 }
 
 // MergeRequest asks a model to absorb another decomposition through the
@@ -183,6 +204,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/models/{name}", s.handleInfo)
 	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/models/{name}/push", s.handlePush)
+	s.mux.HandleFunc("POST /v1/models/{name}/push-sketch", s.handlePushSketch)
 	s.mux.HandleFunc("POST /v1/models/{name}/merge", s.handleMerge)
 	s.mux.HandleFunc("GET /v1/models/{name}/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /v1/models/{name}/spectrum", s.handleSpectrum)
@@ -200,10 +222,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, err error) {
 	status := httpStatus(err)
-	if status == http.StatusTooManyRequests {
+	if status == http.StatusTooManyRequests && w.Header().Get("Retry-After") == "" {
+		// The ingest handlers set a backlog-derived Retry-After before
+		// calling here (enqueueOrReject); this fixed hint only covers 429s
+		// raised with no model in hand.
 		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, status, errorResponse{Error: errorMessage(err)})
+}
+
+// enqueueOrReject hands req to the model's ingest queue; a full queue
+// writes the 429 with a Retry-After derived from the live backlog (queue
+// occupancy over the coalesce width — how many micro-batches must drain
+// before room is guaranteed) instead of a fixed one-second guess.
+func enqueueOrReject(w http.ResponseWriter, m *model, req *pushReq) bool {
+	if err := m.enqueue(req); err != nil {
+		if errors.Is(err, ErrBacklogFull) {
+			w.Header().Set("Retry-After", strconv.Itoa(m.retryAfterSeconds()))
+		}
+		writeError(w, err)
+		return false
+	}
+	return true
 }
 
 // decodeJSON reads one JSON value, mapping an oversized body to 413.
@@ -309,10 +349,16 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req := &pushReq{batch: batch, errc: make(chan error, 1)}
-	if err := m.enqueue(req); err != nil {
-		writeError(w, err)
+	if !enqueueOrReject(w, m, req) {
 		return
 	}
+	s.awaitPushAck(w, r, m, req)
+}
+
+// awaitPushAck waits for the ingest loop's verdict on a queued push (raw
+// or sketched) and writes the ack or error. A client that goes away
+// while waiting gets the context error; its request may still apply.
+func (s *Server) awaitPushAck(w http.ResponseWriter, r *http.Request, m *model, req *pushReq) {
 	select {
 	case err := <-req.errc:
 		if err != nil {
@@ -327,6 +373,37 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	case <-r.Context().Done():
 		writeError(w, r.Context().Err())
 	}
+}
+
+// handlePushSketch ingests one compressed sketch factor pair (see
+// SketchPushJSON). The pair rides the model's single-writer queue like a
+// push, but never coalesces with raw batches: it is one engine update
+// with its own compressed WAL record. Factor-pair shape errors (mismatched
+// inner dimension, wrong row count) surface from SVD.PushSketch as 400s.
+func (s *Server) handlePushSketch(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var sj SketchPushJSON
+	if !decodeJSON(w, r, &sj) {
+		return
+	}
+	q, err := sj.Q.Matrix()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	sk, err := sj.S.Matrix()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	req := &pushReq{sketchQ: q, sketchS: sk, errc: make(chan error, 1)}
+	if !enqueueOrReject(w, m, req) {
+		return
+	}
+	s.awaitPushAck(w, r, m, req)
 }
 
 // handleMerge absorbs another decomposition into the target model: a
@@ -397,8 +474,7 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	}
 
 	mreq := &pushReq{mergeCkpt: ckpt, errc: make(chan error, 1)}
-	if err := m.enqueue(mreq); err != nil {
-		writeError(w, err)
+	if !enqueueOrReject(w, m, mreq) {
 		return
 	}
 	select {

@@ -221,6 +221,19 @@ func (c *Client) Push(ctx context.Context, name string, batch *parsvd.Matrix) (s
 	return ack, err
 }
 
+// PushSketched ingests one compressed sketch factor pair (Q, S) —
+// produced by parsvd.Sketch from an M×B batch — instead of the full
+// batch: the request carries L·(M+B) values rather than M·B, and the
+// server reconstructs (or forwards the pair to its distributed fleet) on
+// its side of the wire. The ack semantics match Push: 2xx means applied
+// (and durable under a WAL), 429 means back off and retry.
+func (c *Client) PushSketched(ctx context.Context, name string, q, s *parsvd.Matrix) (server.PushAck, error) {
+	var ack server.PushAck
+	err := c.do(ctx, http.MethodPost, "/v1/models/"+name+"/push-sketch",
+		server.SketchPushJSON{Q: server.NewMatrixJSON(q), S: server.NewMatrixJSON(s)}, &ack)
+	return ack, err
+}
+
 // Merge absorbs a shard-local fit into the named model: checkpoint
 // streams raw bytes produced by parsvd.Save / parsvd.WriteCheckpoint /
 // Client.Checkpoint to the server as application/octet-stream — no

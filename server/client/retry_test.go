@@ -73,6 +73,34 @@ func TestRetryAfterHeaderStretchesBackoff(t *testing.T) {
 	}
 }
 
+// TestRetryAfterValueReachesBackoff: the server's queue-occupancy
+// estimate (a Retry-After of several seconds, not the old constant "1")
+// must land in APIError.RetryAfter and stretch RetryPolicy.delay to at
+// least that value — without this, the client would hammer a deep
+// backlog at its own 1ms backoff cadence.
+func TestRetryAfterValueReachesBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"queue full"}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL) // zero policy: single attempt surfaces the APIError
+	err := c.do(context.Background(), http.MethodPost, "/", map[string]int{"x": 1}, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("got %v, want APIError", err)
+	}
+	if apiErr.RetryAfter != 7*time.Second {
+		t.Fatalf("APIError.RetryAfter = %v, want the server-computed 7s", apiErr.RetryAfter)
+	}
+	p := fastRetry(3) // backoff alone would be ~1ms
+	if d := p.delay(0, err); d != 7*time.Second {
+		t.Fatalf("delay = %v, want the server-computed 7s", d)
+	}
+}
+
 func TestRetryOn500OnlyForIdempotent(t *testing.T) {
 	h, seen := flaky(1, func(w http.ResponseWriter) {
 		w.WriteHeader(http.StatusInternalServerError)

@@ -216,6 +216,85 @@ func TestBackpressureAndClientCancel(t *testing.T) {
 	}
 }
 
+// TestRetryAfterDerivedFromQueueOccupancy: the 429 Retry-After header is
+// not a constant — it estimates drain time as ceil(pending/MaxCoalesce)
+// seconds (clamped to [1, 30]), so a deeper backlog tells clients to
+// stay away longer.
+func TestRetryAfterDerivedFromQueueOccupancy(t *testing.T) {
+	s, err := New(Config{QueueDepth: 6, MaxCoalesce: 2, Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svd, err := parsvd.New(parsvd.WithModes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newModel(ModelSpec{Name: "busy"}, svd, s.cfg) // stalled writer
+	if err := s.reg.add(m); err != nil {
+		t.Fatal(err)
+	}
+
+	// An empty queue still asks for the 1-second floor.
+	if got := m.retryAfterSeconds(); got != 1 {
+		t.Fatalf("retryAfterSeconds with empty queue = %d, want 1", got)
+	}
+
+	// Fill the queue against the stalled writer: 6 pending pushes with
+	// MaxCoalesce=2 drain in ~3 coalesced updates.
+	var reqs []*pushReq
+	for j := 0; j < 6; j++ {
+		req := &pushReq{batch: detMatrix(8, 1, float64(j)), errc: make(chan error, 1)}
+		if err := m.enqueue(req); err != nil {
+			t.Fatalf("enqueue %d: %v", j, err)
+		}
+		reqs = append(reqs, req)
+	}
+	h := s.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/models/busy/push", bytes.NewReader(pushBody(t, detMatrix(8, 1, 9)))))
+	if rec.Code != 429 {
+		t.Fatalf("push against full queue: HTTP %d, want 429 (body %s)", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\" (ceil(6 pending / MaxCoalesce 2))", got)
+	}
+
+	// The sketched-push ingress shares the same backpressure contract.
+	sketchBody, err := json.Marshal(SketchPushJSON{
+		Q: NewMatrixJSON(detMatrix(8, 2, 0)),
+		S: NewMatrixJSON(detMatrix(2, 1, 0)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/models/busy/push-sketch", bytes.NewReader(sketchBody)))
+	if rec.Code != 429 {
+		t.Fatalf("push-sketch against full queue: HTTP %d, want 429 (body %s)", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "3" {
+		t.Fatalf("push-sketch Retry-After = %q, want \"3\"", got)
+	}
+
+	// The estimate is clamped at 30 seconds no matter how deep the queue.
+	m.pending.Store(1000)
+	if got := m.retryAfterSeconds(); got != 30 {
+		t.Fatalf("retryAfterSeconds with 1000 pending = %d, want the 30s clamp", got)
+	}
+	m.pending.Store(int64(len(reqs)))
+
+	// Writer recovers; everything queued drains cleanly.
+	m.run()
+	for j, req := range reqs {
+		if err := <-req.errc; err != nil {
+			t.Fatalf("queued push %d: %v", j, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestShutdownFlushesQueue: pushes still queued when Close begins must be
 // applied (and answered) before Close returns.
 func TestShutdownFlushesQueue(t *testing.T) {

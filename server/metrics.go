@@ -26,6 +26,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE parsvd_model_queue_depth gauge\n")
 	fmt.Fprintf(w, "# HELP parsvd_model_comm_bytes Inter-rank traffic bytes per model.\n")
 	fmt.Fprintf(w, "# TYPE parsvd_model_comm_bytes counter\n")
+	fmt.Fprintf(w, "# HELP parsvd_model_pushed_bytes Logical snapshot bytes ingested per model (8*M*B per push, before any sketch compression).\n")
+	fmt.Fprintf(w, "# TYPE parsvd_model_pushed_bytes counter\n")
+	fmt.Fprintf(w, "# HELP parsvd_model_wire_bytes Bytes that actually crossed the ingress boundary per model (smaller than pushed_bytes when sketched).\n")
+	fmt.Fprintf(w, "# TYPE parsvd_model_wire_bytes counter\n")
+	fmt.Fprintf(w, "# HELP parsvd_model_sketched_pushes Updates that arrived as compressed sketch factor pairs.\n")
+	fmt.Fprintf(w, "# TYPE parsvd_model_sketched_pushes counter\n")
 	fmt.Fprintf(w, "# HELP parsvd_model_wal_appends Micro-batch records appended to the write-ahead log.\n")
 	fmt.Fprintf(w, "# TYPE parsvd_model_wal_appends counter\n")
 	fmt.Fprintf(w, "# HELP parsvd_model_wal_fsyncs Fsync calls issued by the write-ahead log.\n")
@@ -50,6 +56,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "parsvd_model_updates{model=%q} %d\n", m.name, st.Updates)
 		fmt.Fprintf(w, "parsvd_model_queue_depth{model=%q} %d\n", m.name, m.pending.Load())
 		fmt.Fprintf(w, "parsvd_model_comm_bytes{model=%q} %d\n", m.name, st.Bytes)
+		fmt.Fprintf(w, "parsvd_model_pushed_bytes{model=%q} %d\n", m.name, st.PushedBytes)
+		fmt.Fprintf(w, "parsvd_model_wire_bytes{model=%q} %d\n", m.name, st.WireBytes)
+		fmt.Fprintf(w, "parsvd_model_sketched_pushes{model=%q} %d\n", m.name, st.SketchedPushes)
 		shard, absorbed := shardLabel(st)
 		if shard == "" {
 			shard = "whole"

@@ -62,16 +62,18 @@ type model struct {
 	replayedOnBoot  uint64
 }
 
-// pushReq is one queued ingest operation: a snapshot batch, or — when
-// mergeCkpt is set — a checkpoint to absorb through SVD.Merge. Merges
-// ride the same single-writer queue as pushes, so the WAL ordering and
-// durability barrier apply to them unchanged. errc is buffered so the
+// pushReq is one queued ingest operation: a snapshot batch, a compressed
+// (Q, S) sketch factor pair — when sketchQ is set — or, when mergeCkpt is
+// set, a checkpoint to absorb through SVD.Merge. Sketched pushes and
+// merges ride the same single-writer queue as pushes, so the WAL ordering
+// and durability barrier apply to them unchanged. errc is buffered so the
 // ingest loop can always deliver the outcome, even when the submitting
 // handler has already given up (context canceled → 499) and gone away.
 type pushReq struct {
-	batch     *parsvd.Matrix
-	mergeCkpt []byte
-	errc      chan error
+	batch            *parsvd.Matrix
+	sketchQ, sketchS *parsvd.Matrix
+	mergeCkpt        []byte
+	errc             chan error
 }
 
 // newModel wires a model around an SVD but does not start its ingest
@@ -125,6 +127,23 @@ func (m *model) enqueue(req *pushReq) error {
 	}
 }
 
+// retryAfterSeconds derives the Retry-After hint a 429 carries from the
+// actual backlog instead of a fixed guess: the queued pushes drain up to
+// MaxCoalesce per engine update, so ⌈pending/MaxCoalesce⌉ micro-batches
+// must clear before room is guaranteed — roughly that many seconds under
+// a loaded model. Clamped to [1, 30] so an empty-queue race still asks
+// for a beat and a deep backlog never tells clients to vanish for good.
+func (m *model) retryAfterSeconds() int {
+	secs := (int(m.pending.Load()) + m.cfg.MaxCoalesce - 1) / m.cfg.MaxCoalesce
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
 // ingestLoop is the model's single writer: it drains the queue,
 // micro-batches whatever is pending into as few engine updates as
 // possible, publishes a fresh View after each applied batch, and
@@ -164,9 +183,12 @@ func (m *model) ingestLoop() {
 // MaxCoalesce to 1 (Config docs, `parsvd-serve -coalesce 1`).
 func (m *model) coalesce(first *pushReq) []*pushReq {
 	reqs := []*pushReq{first}
-	// A merge never coalesces with anything: it is one engine operation
-	// with its own WAL record, applied exactly at its queue position.
-	if first.mergeCkpt != nil {
+	// A merge or sketched push never coalesces with anything: each is one
+	// engine operation with its own WAL record, applied exactly at its
+	// queue position. (Stacking reconstructed sketches with raw batches
+	// would force the reconstruction onto the ingest loop and log the
+	// expanded rows, forfeiting the compression the sender paid for.)
+	if first.mergeCkpt != nil || first.sketchQ != nil {
 		return reqs
 	}
 	for len(reqs) < m.cfg.MaxCoalesce {
@@ -174,9 +196,9 @@ func (m *model) coalesce(first *pushReq) []*pushReq {
 		case r := <-m.queue:
 			m.pending.Add(-1)
 			reqs = append(reqs, r)
-			if r.mergeCkpt != nil {
-				// The merge ends the micro-batch; apply handles it as its
-				// own run after the batches queued ahead of it.
+			if r.mergeCkpt != nil || r.sketchQ != nil {
+				// The merge or sketch ends the micro-batch; apply handles
+				// it as its own run after the batches queued ahead of it.
 				return reqs
 			}
 		default:
@@ -200,9 +222,14 @@ func (m *model) apply(reqs []*pushReq) {
 			start++
 			continue
 		}
+		if reqs[start].sketchQ != nil {
+			m.applySketch(reqs[start])
+			start++
+			continue
+		}
 		end := start + 1
 		rows := reqs[start].batch.Rows()
-		for end < len(reqs) && reqs[end].mergeCkpt == nil && reqs[end].batch.Rows() == rows {
+		for end < len(reqs) && reqs[end].mergeCkpt == nil && reqs[end].sketchQ == nil && reqs[end].batch.Rows() == rows {
 			end++
 		}
 		run := reqs[start:end]
@@ -261,6 +288,25 @@ func (m *model) applyMerge(req *pushReq) {
 		// Only record engine/durability faults in the model health: a
 		// refused (incompatible or corrupt) checkpoint leaves the model
 		// fully healthy.
+		msg := err.Error()
+		m.ingestErr.Store(&msg)
+	}
+	req.errc <- err
+}
+
+// applySketch ingests one compressed (Q, S) factor pair through
+// SVD.PushSketch, under the same durability barrier as a push: the WAL
+// record carries the pair in its compressed form (the reconstruction is
+// deterministic, so replay is bit-exact) and is durable before the
+// sender sees its ack.
+func (m *model) applySketch(req *pushReq) {
+	err := m.svd.PushSketch(req.sketchQ, req.sketchS)
+	if err == nil {
+		err = m.logDurable(encodeSketchPayload(req.sketchQ, req.sketchS))
+	}
+	if err == nil {
+		err = m.publish()
+	} else {
 		msg := err.Error()
 		m.ingestErr.Store(&msg)
 	}

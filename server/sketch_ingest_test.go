@@ -1,0 +1,162 @@
+package server_test
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	parsvd "goparsvd"
+	"goparsvd/server"
+)
+
+// sketchPair compresses batch into a (Q, S) factor pair the way a
+// producer would before shipping it to the serving API.
+func sketchPair(t *testing.T, batch *parsvd.Matrix, cfg parsvd.SketchConfig) (q, s *parsvd.Matrix) {
+	t.Helper()
+	q, s, err := parsvd.Sketch(batch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q == nil || s == nil {
+		t.Fatalf("sketch of %dx%d batch fell back to raw; pick a compressible geometry", batch.Rows(), batch.Cols())
+	}
+	return q, s
+}
+
+// TestPushSketchEndToEnd: POST /v1/models/{name}/push-sketch applies a
+// compressed factor pair exactly like an in-process PushSketch — same
+// spectrum bit-for-bit — and the traffic counters surface the
+// compression in both /v1/models/{name} stats and /metrics.
+func TestPushSketchEndToEnd(t *testing.T) {
+	const k, rows, cols, l = 4, 32, 16, 6
+	c := boot(t, server.Config{})
+	ctx := context.Background()
+	if _, err := c.CreateModel(ctx, server.ModelSpec{Name: "sk", Modes: k}); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := testMatrix(rows, cols)
+	q, s := sketchPair(t, batch, parsvd.SketchConfig{MaxRank: l})
+	ack, err := c.PushSketched(ctx, "sk", q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Snapshots != cols {
+		t.Fatalf("ack snapshots = %d, want %d", ack.Snapshots, cols)
+	}
+
+	// Reference: the identical pair through the in-process facade.
+	ref, err := parsvd.New(parsvd.WithModes(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if err := ref.PushSketch(q, s); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := c.Spectrum(ctx, "sk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBitIdentical(t, sp.Singular, want.Singular, "sketched ingest")
+
+	// Traffic counters: logical bytes are the full batch, wire bytes the
+	// factor pair.
+	info, err := c.Model(ctx, "sk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := info.Stats
+	if st.SketchedPushes != 1 {
+		t.Fatalf("sketched_pushes = %d, want 1", st.SketchedPushes)
+	}
+	if want := int64(8 * rows * cols); st.PushedBytes != want {
+		t.Fatalf("pushed_bytes = %d, want %d", st.PushedBytes, want)
+	}
+	if want := int64(8 * l * (rows + cols)); st.WireBytes != want {
+		t.Fatalf("wire_bytes = %d, want %d", st.WireBytes, want)
+	}
+	if st.WireBytes >= st.PushedBytes {
+		t.Fatalf("wire_bytes %d >= pushed_bytes %d: no compression recorded", st.WireBytes, st.PushedBytes)
+	}
+
+	// The same counters show up on the metrics endpoint.
+	metrics := getBody(t, c.BaseURL+"/metrics")
+	for _, line := range []string{
+		`parsvd_model_sketched_pushes{model="sk"} 1`,
+		`parsvd_model_pushed_bytes{model="sk"} 4096`,
+		`parsvd_model_wire_bytes{model="sk"} 2304`,
+	} {
+		if !strings.Contains(metrics, line) {
+			t.Fatalf("/metrics lacks %q:\n%s", line, metrics)
+		}
+	}
+
+	// A torn pair — inner dimensions disagree — is a 400, not a panic,
+	// and does not poison the model.
+	_, err = c.PushSketched(ctx, "sk", q, s.SliceRows(0, s.Rows()-1))
+	wantStatus(t, err, http.StatusBadRequest)
+	if _, err := c.Push(ctx, "sk", testMatrix(rows, 4)); err != nil {
+		t.Fatalf("model poisoned after rejected sketch: %v", err)
+	}
+}
+
+// TestSketchWALReplay: a sketched push is one compressed WAL record (the
+// factor pair, not the reconstructed batch); a crash after the ack must
+// recover the model — raw batch, sketch, raw batch — bit-for-bit from
+// spec + WAL alone.
+func TestSketchWALReplay(t *testing.T) {
+	const k = 4
+	dir := t.TempDir()
+	cfg := server.Config{CheckpointDir: dir, CheckpointInterval: time.Hour, Logf: func(string, ...any) {}}
+	ctx := context.Background()
+
+	s1 := bootCrashable(t, cfg)
+	if _, err := s1.c.CreateModel(ctx, server.ModelSpec{Name: "m", Modes: k}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.c.Push(ctx, "m", testMatrix(32, 8)); err != nil {
+		t.Fatal(err)
+	}
+	q, sk := sketchPair(t, testMatrix(32, 16), parsvd.SketchConfig{MaxRank: 6})
+	if _, err := s1.c.PushSketched(ctx, "m", q, sk); err != nil {
+		t.Fatal(err)
+	}
+	// One more raw batch after the sketch, so replay must cross the
+	// sketch record and keep going.
+	if _, err := s1.c.Push(ctx, "m", testMatrix(32, 4)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := s1.c.Spectrum(ctx, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.crash()
+
+	s2 := bootCrashable(t, cfg)
+	got, err := s2.c.Spectrum(ctx, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBitIdentical(t, got.Singular, want.Singular, "sketch replay")
+	var h server.HealthResponse
+	getJSON(t, s2.ts.URL+"/healthz", &h)
+	if len(h.Health) != 1 || h.Health[0].ReplayedOnBoot != 3 {
+		t.Fatalf("post-recovery health %+v, want replayed_on_boot=3", h.Health)
+	}
+	// The recovered model still ingests sketches.
+	q2, sk2 := sketchPair(t, testMatrix(32, 16), parsvd.SketchConfig{MaxRank: 6})
+	if _, err := s2.c.PushSketched(ctx, "m", q2, sk2); err != nil {
+		t.Fatal(err)
+	}
+	s2.ts.Close()
+	if err := s2.srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -103,6 +104,64 @@ func isMergePayload(payload []byte) bool {
 
 // mergeCheckpoint strips the magic, returning the absorbed checkpoint.
 func mergeCheckpoint(payload []byte) []byte { return payload[len(mergeMagic):] }
+
+// sketchMagic prefixes a WAL record that carries a sketched push: the
+// compressed (Q, S) factor pair is logged exactly as it arrived — never
+// the reconstructed Q·S — so the log stays as small as the wire traffic
+// and replay reproduces the identical deterministic reconstruction. Like
+// mergeMagic, the 8 non-zero ASCII bytes cannot collide with a batch
+// record (whose first 8 bytes are the always-zero little-endian Tag).
+var sketchMagic = []byte("GPSVSKCH")
+
+// encodeSketchPayload frames an applied sketched push for the WAL:
+// magic, a u32le length of the Q body, then the Q and S matrices in the
+// same bit-exact tcptransport float64 framing batch records use.
+func encodeSketchPayload(q, s *parsvd.Matrix) []byte {
+	qm := mpi.Message{Rows: q.Rows(), Cols: q.Cols(), Data: q.RawData()}
+	sm := mpi.Message{Rows: s.Rows(), Cols: s.Cols(), Data: s.RawData()}
+	qBody := tcptransport.AppendMessageBody(make([]byte, 0, 32+8*len(qm.Data)), qm)
+	payload := make([]byte, 0, len(sketchMagic)+4+len(qBody)+32+8*len(sm.Data))
+	payload = append(payload, sketchMagic...)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(qBody)))
+	payload = append(payload, qBody...)
+	return tcptransport.AppendMessageBody(payload, sm)
+}
+
+// isSketchPayload distinguishes sketched-push records from the others.
+func isSketchPayload(payload []byte) bool {
+	return len(payload) >= len(sketchMagic) && string(payload[:len(sketchMagic)]) == string(sketchMagic)
+}
+
+// decodeSketchPayload is the replay-side inverse of encodeSketchPayload.
+func decodeSketchPayload(payload []byte) (q, s *parsvd.Matrix, err error) {
+	body := payload[len(sketchMagic):]
+	if len(body) < 4 {
+		return nil, nil, fmt.Errorf("server: wal sketch record truncated (%d bytes)", len(payload))
+	}
+	qlen := int(binary.LittleEndian.Uint32(body))
+	body = body[4:]
+	if qlen < 0 || qlen > len(body) {
+		return nil, nil, fmt.Errorf("server: wal sketch record claims %d-byte Q in a %d-byte body", qlen, len(body))
+	}
+	decode := func(part []byte, what string) (*parsvd.Matrix, error) {
+		msg, err := tcptransport.DecodeMessageBody(part)
+		if err != nil {
+			return nil, fmt.Errorf("server: wal sketch record %s: %w", what, err)
+		}
+		m, err := parsvd.NewMatrixFromData(msg.Rows, msg.Cols, msg.Data)
+		if err != nil {
+			return nil, fmt.Errorf("server: wal sketch record carries a malformed %dx%d %s factor: %w", msg.Rows, msg.Cols, what, err)
+		}
+		return m, nil
+	}
+	if q, err = decode(body[:qlen], "Q"); err != nil {
+		return nil, nil, err
+	}
+	if s, err = decode(body[qlen:], "S"); err != nil {
+		return nil, nil, err
+	}
+	return q, s, nil
+}
 
 // decodeBatchPayload is the replay-side inverse.
 func decodeBatchPayload(payload []byte) (*parsvd.Matrix, error) {

@@ -1,0 +1,43 @@
+package parsvd_test
+
+import (
+	"testing"
+
+	parsvd "goparsvd"
+	"goparsvd/internal/testutil"
+)
+
+// BenchmarkSketchedPushWire streams a low-rank workload through
+// WithSketchedPush and reports the ingest traffic alongside time:
+// wire-B/push is what crosses the wire per push as a compressed (Q, S)
+// factor pair, raw-B/push the 8·M·B a raw push would have shipped. The
+// bench-trajectory gate records wire-B/push in BENCH_baseline.json and
+// fails on any increase — compression geometry is deterministic, so a
+// bigger number is a real traffic regression, not noise.
+func BenchmarkSketchedPushWire(b *testing.B) {
+	const rows, snaps, batch, rank = 512, 128, 32, 8
+	data, _ := testutil.RandomLowRank(rows, snaps, rank, 1e-10, testutil.NewRand(17))
+	b.ReportAllocs()
+	var st parsvd.Stats
+	for i := 0; i < b.N; i++ {
+		svd, err := parsvd.New(
+			parsvd.WithModes(rank),
+			parsvd.WithSketchedPush(parsvd.SketchConfig{MaxRank: rank}),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for off := 0; off < snaps; off += batch {
+			if err := svd.Push(data.SliceCols(off, off+batch)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st = svd.Stats()
+		if err := svd.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pushes := float64(snaps / batch)
+	b.ReportMetric(float64(st.WireBytes)/pushes, "wire-B/push")
+	b.ReportMetric(float64(st.PushedBytes)/pushes, "raw-B/push")
+}
